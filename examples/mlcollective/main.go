@@ -1,0 +1,67 @@
+// ML collective demo: AllReduce and AllToAll completion times over
+// RDMA-Falcon versus the legacy TCP stack, across message sizes — the
+// comparison behind the paper's Figures 25 and 26.
+//
+//	go run ./examples/mlcollective
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"falcon/internal/sim"
+	"falcon/internal/swtransport"
+	"falcon/internal/workload"
+)
+
+const (
+	nodes        = 8
+	ranksPerNode = 4
+	ranks        = nodes * ranksPerNode
+)
+
+func falconTime(coll func(workload.Messenger, int, func()), bytes int) time.Duration {
+	s := sim.New(5)
+	m, _ := workload.BuildFalconJob(s, nodes, ranksPerNode, ranks)
+	var done sim.Time
+	coll(m, bytes, func() { done = s.Now() })
+	s.Run()
+	return done.Duration()
+}
+
+func tcpTime(coll func(workload.Messenger, int, func()), bytes int) time.Duration {
+	s := sim.New(5)
+	m, _ := workload.BuildSWJob(s, nodes, ranksPerNode, ranks, swtransport.TCP())
+	var done sim.Time
+	coll(m, bytes, func() { done = s.Now() })
+	s.Run()
+	return done.Duration()
+}
+
+func table(name string, coll func(workload.Messenger, int, func())) {
+	fmt.Printf("%s (%d ranks on %d nodes)\n", name, ranks, nodes)
+	fmt.Printf("  %-10s %14s %14s %9s\n", "msg size", "RDMA-Falcon", "TCP", "speedup")
+	for _, bytes := range []int{4, 64, 1024, 16 << 10, 64 << 10, 256 << 10} {
+		f := falconTime(coll, bytes)
+		t := tcpTime(coll, bytes)
+		fmt.Printf("  %-10s %14v %14v %8.1fx\n", fmtBytes(bytes), f, t, float64(t)/float64(f))
+	}
+	fmt.Println()
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
+func main() {
+	table("AllReduce", workload.AllReduce)
+	table("AllToAll", workload.AllToAll)
+	fmt.Println("Small messages gain the most: the hardware transport removes the")
+	fmt.Println("software stack's per-message CPU cost and latency floor.")
+}

@@ -1,0 +1,91 @@
+// Quickstart: bring up two Falcon-equipped hosts on a simulated 100G
+// point-to-point fabric, run RDMA Writes, Reads and atomics between them
+// with real payload bytes, and print what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"falcon/internal/core"
+	"falcon/internal/netsim"
+	"falcon/internal/rdma"
+	"falcon/internal/sim"
+)
+
+func main() {
+	// 1. Build the fabric: two hosts joined by one switch.
+	s := sim.New(42)
+	link := netsim.LinkConfig{GbpsRate: 100, PropDelay: time.Microsecond}
+	topo, _ := netsim.PointToPoint(s, link)
+
+	// 2. Attach a Falcon node (NIC model + resources + FAE) to each host
+	// and connect them with an ordered multipath Falcon connection.
+	cl := core.NewCluster(s)
+	a := cl.AddNode(topo.Hosts[0], core.DefaultNodeConfig())
+	b := cl.AddNode(topo.Hosts[1], core.DefaultNodeConfig())
+	epA, epB := cl.Connect(a, b, core.DefaultConnConfig())
+
+	// 3. Wrap the endpoints in RDMA RC queue pairs; register memory at B.
+	qa := rdma.NewQP(epA, rdma.Config{})
+	qb := rdma.NewQP(epB, rdma.Config{})
+	remote := make([]byte, 1<<20)
+	qb.RegisterMemory(remote)
+
+	// 4. RDMA WRITE 64KB into B's memory.
+	payload := bytes.Repeat([]byte("falcon!!"), 8192) // 64KB
+	writeDone := sim.Time(0)
+	if err := qa.Write(1, 4096, payload, 0, func(c rdma.Completion) {
+		if c.Err != nil {
+			log.Fatalf("write failed: %v", c.Err)
+		}
+		writeDone = s.Now()
+	}); err != nil {
+		log.Fatal(err)
+	}
+	s.Run()
+	fmt.Printf("WRITE  64KB completed at t=%-12v (payload intact: %v)\n",
+		writeDone, bytes.Equal(remote[4096:4096+len(payload)], payload))
+
+	// 5. RDMA READ it back.
+	var readBack []byte
+	start := s.Now()
+	if err := qa.Read(2, 4096, len(payload), func(c rdma.Completion) {
+		if c.Err != nil {
+			log.Fatalf("read failed: %v", c.Err)
+		}
+		readBack = c.Data
+	}); err != nil {
+		log.Fatal(err)
+	}
+	s.Run()
+	fmt.Printf("READ   64KB completed in %-12v (round-tripped: %v)\n",
+		s.Now().Sub(start), bytes.Equal(readBack, payload))
+
+	// 6. Atomic fetch-and-add on a remote counter.
+	start = s.Now()
+	if err := qa.FetchAdd(3, 0, 7, func(c rdma.Completion) {
+		if c.Err != nil {
+			log.Fatalf("fetch-add failed: %v", c.Err)
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+	s.Run()
+	fmt.Printf("ATOMIC fetch-add completed in %v\n", s.Now().Sub(start))
+
+	// 7. Show the transport's own accounting.
+	fmt.Printf("\ntransport stats (initiator side):\n")
+	fmt.Printf("  data packets sent:  %d\n", epA.PDL().Stats.DataSent)
+	fmt.Printf("  retransmissions:    %d\n", epA.PDL().Stats.DataRetransmits)
+	fmt.Printf("  acks received:      %d\n", epA.PDL().Stats.AcksReceived)
+	fmt.Printf("  effective window:   %.1f packets\n", epA.PDL().EffectiveWindow())
+	fmt.Printf("  transactions ok:    %d\n", epA.TL().Stats.CompletedOK)
+	fmt.Printf("target side:\n")
+	fmt.Printf("  delivered to ULP:   %d packets\n", epB.PDL().Stats.DeliveredToTL)
+	fmt.Printf("  acks sent:          %d\n", epB.PDL().Stats.AcksSent)
+}

@@ -1,0 +1,155 @@
+// udptunnel demonstrates that the Falcon wire format is a real,
+// serializable protocol: it runs a miniature Push exchange over actual UDP
+// sockets on localhost — requester and responder marshal and unmarshal
+// wire.Packet bytes, maintain an RX bitmap, and compute the
+// four-timestamp fabric delay of §4.2, exactly as the simulated stack
+// does.
+//
+//	go run ./examples/udptunnel
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"falcon/internal/falcon/wire"
+	"falcon/internal/psp"
+)
+
+// The tunnel runs PSP inline encryption end to end: packets are sealed
+// with a per-connection AES-GCM key derived from the responder's device
+// master key, exactly as the inline-crypto block of §5.1 would.
+var masterKey = []byte("udptunnel-device-master-key-demo")
+
+const connID = 7
+
+func main() {
+	responderAddr := startResponder()
+	conn, err := net.Dial("udp", responderAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	txSA, err := psp.NewSA(masterKey, connID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rxSA, err := psp.NewSA(masterKey, connID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("falcon-over-UDP with PSP: %dB falcon header + %dB crypto overhead\n\n",
+		wire.HeaderLen(), psp.Overhead)
+	buf := make([]byte, 64<<10)
+	for psn := uint32(0); psn < 5; psn++ {
+		t1 := time.Now().UnixNano()
+		pkt := &wire.Packet{
+			Type:      wire.TypePushData,
+			ConnID:    connID,
+			FlowLabel: wire.MakeFlowLabel(0x42, int(psn)%wire.MaxFlows),
+			PSN:       psn,
+			RSN:       uint64(psn),
+			Flags:     wire.FlagAckReq,
+			T1:        t1,
+			Length:    uint32(len("hello over the real wire")),
+			Data:      []byte("hello over the real wire"),
+		}
+		// Seal: first 16 bytes cleartext-but-authenticated (flow label
+		// for switch hashing), the timestamp in the IV.
+		sealed, err := txSA.Seal(pkt.Marshal(nil), 16, uint64(t1))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := conn.Write(sealed); err != nil {
+			log.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+		n, err := conn.Read(buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plain, _, err := rxSA.Open(buf[:n])
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ack wire.Packet
+		if _, err := ack.Unmarshal(plain); err != nil {
+			log.Fatal(err)
+		}
+		t4 := time.Now().UnixNano()
+		// (t4-t1)-(t3-t2): wire delay without synchronized clocks.
+		fabric := time.Duration((t4 - ack.T1Echo) - (ack.T3 - ack.T2))
+		fmt.Printf("PSN %d acked (encrypted round trip): base=%d bitmap=%v fabric-delay=%v\n",
+			psn, ack.Req.Base, ack.Req.Bitmap, fabric)
+	}
+}
+
+// startResponder runs a minimal Falcon receiver on a UDP socket: it opens
+// each PSP-sealed packet, tracks the RX window bitmap, and answers every
+// AR-flagged packet with a sealed ACK carrying the timestamp echoes.
+func startResponder() string {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rxSA, err := psp.NewSA(masterKey, connID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	txSA, err := psp.NewSA(masterKey, connID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		defer pc.Close()
+		var base uint32
+		var bitmap wire.Bitmap
+		buf := make([]byte, 64<<10)
+		for {
+			n, addr, err := pc.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			t2 := time.Now().UnixNano()
+			plain, _, err := rxSA.Open(buf[:n])
+			if err != nil {
+				continue // unauthenticated datagram
+			}
+			var pkt wire.Packet
+			if _, err := pkt.Unmarshal(plain); err != nil {
+				continue
+			}
+			if diff := int(pkt.PSN - base); diff >= 0 && diff < wire.BitmapBits {
+				bitmap.Set(diff)
+				if run := bitmap.LeadingRun(); run > 0 {
+					bitmap.ShiftRight(run)
+					base += uint32(run)
+				}
+			}
+			if pkt.Flags&wire.FlagAckReq == 0 {
+				continue
+			}
+			ack := &wire.Packet{
+				Type:         wire.TypeAck,
+				ConnID:       pkt.ConnID,
+				AckFlowIndex: uint8(pkt.FlowLabel.FlowIndex()),
+				T1Echo:       pkt.T1,
+				T2:           t2,
+				T3:           time.Now().UnixNano(),
+				Req:          wire.AckInfo{Base: base, Bitmap: bitmap},
+			}
+			sealed, err := txSA.Seal(ack.Marshal(nil), 16, uint64(ack.T3))
+			if err != nil {
+				continue
+			}
+			if _, err := pc.WriteTo(sealed, addr); err != nil {
+				return
+			}
+		}
+	}()
+	return pc.LocalAddr().String()
+}

@@ -1,0 +1,3 @@
+module falcon
+
+go 1.22

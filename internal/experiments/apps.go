@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"time"
+
+	"falcon/internal/core"
+	"falcon/internal/netsim"
+	"falcon/internal/nvme"
+	"falcon/internal/rdma"
+	"falcon/internal/sim"
+	"falcon/internal/stats"
+	"falcon/internal/swtransport"
+	"falcon/internal/workload"
+)
+
+// collectiveTable runs one MPI collective over RDMA-Falcon and TCP across
+// message sizes (the §6.3 Intel-MPI-Benchmark comparisons).
+//
+// Scaled down: ranks per node reduced from the paper's 192 to 4 (the
+// collective algorithms and per-message transport costs set the shape;
+// rank count scales both columns alike).
+func collectiveTable(title string, nodes, ranksPerNode int,
+	coll func(workload.Messenger, int, func()), sizes []int) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"msg size", "RDMA-Falcon", "TCP", "speedup"},
+	}
+	ranks := nodes * ranksPerNode
+	run := func(falcon bool, bytes int) time.Duration {
+		s := sim.New(25)
+		var m workload.Messenger
+		if falcon {
+			m, _ = workload.BuildFalconJob(s, nodes, ranksPerNode, ranks)
+		} else {
+			m, _ = workload.BuildSWJob(s, nodes, ranksPerNode, ranks, swtransport.TCP())
+		}
+		var done sim.Time
+		coll(m, bytes, func() { done = s.Now() })
+		s.Run()
+		return done.Duration()
+	}
+	for _, bytes := range sizes {
+		f := run(true, bytes)
+		tc := run(false, bytes)
+		t.Rows = append(t.Rows, []string{fmtSize(bytes), dur(f), dur(tc), f1(float64(tc) / float64(f))})
+	}
+	return t
+}
+
+// Fig25 reproduces the AllReduce comparison (32 nodes in the paper).
+func Fig25() *Table {
+	return collectiveTable("Figure 25: MPI AllReduce completion time (16 nodes x 4 ranks)",
+		16, 4, workload.AllReduce, []int{4, 64, 1 << 10, 16 << 10, 64 << 10, 256 << 10})
+}
+
+// Fig26 reproduces the AllToAll comparison.
+func Fig26() *Table {
+	return collectiveTable("Figure 26: MPI AllToAll completion time (16 nodes x 4 ranks)",
+		16, 4, workload.AllToAll, []int{4, 64, 1 << 10, 16 << 10, 64 << 10})
+}
+
+// Fig30 reproduces the AllGather comparison (8 nodes in the paper).
+func Fig30() *Table {
+	return collectiveTable("Figure 30: MPI AllGather completion time (8 nodes x 4 ranks)",
+		8, 4, workload.AllGather, []int{4, 64, 1 << 10, 16 << 10, 64 << 10})
+}
+
+// Fig31 reproduces the MultiPingPong comparison (2 nodes in the paper).
+func Fig31() *Table {
+	t := &Table{
+		Title:   "Figure 31: MPI MultiPingPong completion time (2 nodes x 8 ranks, 50 iters)",
+		Columns: []string{"msg size", "RDMA-Falcon", "TCP", "speedup"},
+	}
+	run := func(falcon bool, bytes int) time.Duration {
+		s := sim.New(31)
+		var m workload.Messenger
+		if falcon {
+			m, _ = workload.BuildFalconJob(s, 2, 8, 16)
+		} else {
+			m, _ = workload.BuildSWJob(s, 2, 8, 16, swtransport.TCP())
+		}
+		var done sim.Time
+		workload.MultiPingPong(m, bytes, 50, func() { done = s.Now() })
+		s.Run()
+		return done.Duration()
+	}
+	for _, bytes := range []int{4, 64, 1 << 10, 16 << 10, 64 << 10} {
+		f := run(true, bytes)
+		tc := run(false, bytes)
+		t.Rows = append(t.Rows, []string{fmtSize(bytes), dur(f), dur(tc), f1(float64(tc) / float64(f))})
+	}
+	return t
+}
+
+// Fig27 reproduces the GROMACS scaling study: steps/s vs node count over
+// Falcon and TCP. TCP stops scaling once per-step communication dominates.
+func Fig27() *Table {
+	return hpcTable("Figure 27: GROMACS-like scaling (steps/s)", workload.DefaultGromacs)
+}
+
+// Fig28 reproduces the WRF scaling study.
+func Fig28() *Table {
+	return hpcTable("Figure 28: WRF-like scaling (steps/s)", workload.DefaultWRF)
+}
+
+func hpcTable(title string, cfgFor func(int) workload.HPCConfig) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"nodes", "RDMA-Falcon", "TCP", "speedup"},
+	}
+	for _, nodes := range []int{1, 2, 4, 8, 16, 32} {
+		falcon := func() float64 {
+			s := sim.New(27)
+			m, _ := workload.BuildFalconJob(s, nodes, 1, nodes)
+			return workload.RunHPC(s, m, cfgFor(nodes))
+		}()
+		tcp := func() float64 {
+			s := sim.New(27)
+			m, _ := workload.BuildSWJob(s, nodes, 1, nodes, swtransport.TCP())
+			return workload.RunHPC(s, m, cfgFor(nodes))
+		}()
+		t.Rows = append(t.Rows, []string{f1(float64(nodes)), f1(falcon), f1(tcp), f2(falcon / tcp)})
+	}
+	return t
+}
+
+// Fig29 reproduces the live-migration comparison: phase durations, guest
+// access rate and vCPU wait over RDMA-Falcon vs Pony Express.
+func Fig29() *Table {
+	t := &Table{
+		Title:   "Figure 29: live migration (4GB guest, dirtying under load)",
+		Columns: []string{"transport", "pre-copy", "post-copy", "guest pages/s", "vCPU wait"},
+	}
+	cfg := workload.DefaultMigration()
+	cfg.MemoryBytes = 4 << 30
+	// Falcon pipe.
+	{
+		s := sim.New(29)
+		link := netsim.LinkConfig{GbpsRate: 200, PropDelay: time.Microsecond}
+		topo, _ := netsim.PointToPoint(s, link)
+		cl := core.NewCluster(s)
+		a := cl.AddNode(topo.Hosts[0], core.DefaultNodeConfig())
+		b := cl.AddNode(topo.Hosts[1], core.DefaultNodeConfig())
+		epA, epB := cl.Connect(a, b, multipathConn())
+		qa := rdma.NewQP(epA, rdma.Config{})
+		rdma.NewQP(epB, rdma.Config{}).RegisterMemoryLen(1 << 40)
+		res := workload.RunMigration(s, workload.NewFalconPipe(s, qa), cfg)
+		t.Rows = append(t.Rows, []string{"RDMA-Falcon",
+			res.PreCopy.Round(time.Millisecond).String(),
+			res.PostCopy.Round(time.Millisecond).String(),
+			f1(res.GuestAccessRate), res.VCPUWait.Round(time.Millisecond).String()})
+	}
+	// Pony Express pipe.
+	{
+		s := sim.New(29)
+		link := netsim.LinkConfig{GbpsRate: 200, PropDelay: time.Microsecond}
+		topo, _ := netsim.PointToPoint(s, link)
+		a := swtransport.NewNode(s, topo.Hosts[0], swtransport.PonyExpress())
+		b := swtransport.NewNode(s, topo.Hosts[1], swtransport.PonyExpress())
+		conn := swtransport.Connect(a, b, 1)
+		res := workload.RunMigration(s, workload.NewSWPipe(conn), cfg)
+		t.Rows = append(t.Rows, []string{"Pony Express",
+			res.PreCopy.Round(time.Millisecond).String(),
+			res.PostCopy.Round(time.Millisecond).String(),
+			f1(res.GuestAccessRate), res.VCPUWait.Round(time.Millisecond).String()})
+	}
+	return t
+}
+
+// Table4 reproduces the Near Local Flash comparison: NVMe-over-Falcon
+// bandwidth/IOPS as a fraction of the locally attached SSD.
+func Table4(runFor time.Duration) *Table {
+	t := &Table{
+		Title:   "Table 4: NLF (NVMe-over-Falcon) relative to local SSD",
+		Columns: []string{"metric", "NLF Gbps", "local Gbps", "NLF/local %"},
+	}
+	remote := func(opBytes int, write bool, window int) float64 {
+		s := sim.New(4)
+		link := netsim.LinkConfig{GbpsRate: 200, PropDelay: time.Microsecond}
+		topo, _ := netsim.PointToPoint(s, link)
+		cl := core.NewCluster(s)
+		a := cl.AddNode(topo.Hosts[0], core.DefaultNodeConfig())
+		b := cl.AddNode(topo.Hosts[1], core.DefaultNodeConfig())
+		epA, epB := cl.Connect(a, b, multipathConn())
+		dev := nvme.NewDevice(s, nvme.DefaultDeviceConfig())
+		nvme.NewController(epB, dev, 4096)
+		client := nvme.NewClient(s, epA, 4096)
+		var bytesDone uint64
+		issuer := workload.NewClosedLoop(s, window, 1<<30, func(opDone func()) bool {
+			fn := func(err error) {
+				if err == nil {
+					bytesDone += uint64(opBytes)
+				}
+				opDone()
+			}
+			var err error
+			if write {
+				err = client.Write(0, opBytes, fn)
+			} else {
+				err = client.Read(0, opBytes, fn)
+			}
+			return err == nil
+		}, nil)
+		issuer.Start()
+		s.RunUntil(sim.Time(runFor))
+		return stats.Gbps(bytesDone, runFor)
+	}
+	local := func(opBytes int, write bool, window int) float64 {
+		s := sim.New(4)
+		dev := nvme.NewDevice(s, nvme.DefaultDeviceConfig())
+		var bytesDone uint64
+		issuer := workload.NewClosedLoop(s, window, 1<<30, func(opDone func()) bool {
+			fn := func() {
+				bytesDone += uint64(opBytes)
+				opDone()
+			}
+			if write {
+				dev.Write(opBytes, fn)
+			} else {
+				dev.Read(opBytes, fn)
+			}
+			return true
+		}, nil)
+		issuer.Start()
+		s.RunUntil(sim.Time(runFor))
+		return stats.Gbps(bytesDone, runFor)
+	}
+	rows := []struct {
+		name   string
+		bytes  int
+		write  bool
+		window int
+	}{
+		{"read bandwidth (16KB)", 16 << 10, false, 64},
+		{"write bandwidth (1MB)", 1 << 20, true, 16},
+		{"IOPS proxy (4KB reads)", 4 << 10, false, 64},
+	}
+	for _, r := range rows {
+		rg := remote(r.bytes, r.write, r.window)
+		lg := local(r.bytes, r.write, r.window)
+		t.Rows = append(t.Rows, []string{r.name, f1(rg), f1(lg), f1(100 * rg / lg)})
+	}
+	return t
+}

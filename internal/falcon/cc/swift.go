@@ -1,0 +1,274 @@
+// Package cc implements Falcon's congestion-control algorithms: a variant
+// of Swift (Kumar et al., SIGCOMM 2020) adapted per §4.2 to drive two
+// windows — fcwnd (fabric congestion window, per multipath flow, from
+// fabric delay) and ncwnd (NIC congestion window, per connection, from the
+// receiver's RX packet-buffer occupancy). The effective send window is
+// min(sum of flow fcwnds, ncwnd).
+//
+// The algorithms here are pure state machines over explicit samples; the
+// FAE (internal/falcon/fae) owns instances of them and the PDL feeds them
+// measurements, mirroring the paper's mechanism/management split (Table 3).
+package cc
+
+import (
+	"math"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// SwiftConfig parameterizes the fabric-delay AIMD loop. Defaults follow the
+// published Swift constants scaled to intra-cluster RTTs.
+type SwiftConfig struct {
+	// BaseTargetDelay is the fabric target delay for a 0-hop path.
+	BaseTargetDelay time.Duration
+	// PerHopDelay scales the target with topology depth.
+	PerHopDelay time.Duration
+	// AI is the additive increase in packets per RTT of acked traffic.
+	AI float64
+	// Beta is the multiplicative-decrease gain.
+	Beta float64
+	// MaxMDF caps a single multiplicative decrease (fraction of cwnd).
+	MaxMDF float64
+	// MinCwnd and MaxCwnd bound the window, in packets. MinCwnd may be
+	// fractional: below 1.0 the sender paces packets with inter-packet
+	// gaps instead of sending a full packet per RTT.
+	MinCwnd, MaxCwnd float64
+	// RTOCwnd is the window after a retransmission timeout.
+	RTOCwnd float64
+}
+
+// DefaultSwiftConfig returns the configuration used across the evaluation:
+// 25us base fabric target (Swift's intra-cluster setting), gentle AI and
+// decisive MD.
+func DefaultSwiftConfig() SwiftConfig {
+	return SwiftConfig{
+		BaseTargetDelay: 25 * time.Microsecond,
+		PerHopDelay:     1 * time.Microsecond,
+		AI:              1.0,
+		Beta:            0.8,
+		MaxMDF:          0.5,
+		MinCwnd:         0.01,
+		MaxCwnd:         256,
+		RTOCwnd:         1,
+	}
+}
+
+// Swift is one fabric congestion-control instance (one per multipath flow).
+type Swift struct {
+	cfg       SwiftConfig
+	cwnd      float64
+	tLast     sim.Time // time of last multiplicative decrease
+	decreased bool     // whether any decrease has happened yet
+	// srtt is a smoothed RTT estimate used to space decreases one RTT
+	// apart and to derive pacing delays.
+	srtt time.Duration
+}
+
+// NewSwift creates a Swift instance with the given initial window.
+func NewSwift(cfg SwiftConfig, initialCwnd float64) *Swift {
+	if initialCwnd <= 0 {
+		initialCwnd = cfg.MaxCwnd / 4
+	}
+	return &Swift{cfg: cfg, cwnd: clamp(initialCwnd, cfg.MinCwnd, cfg.MaxCwnd)}
+}
+
+// Cwnd returns the current fabric congestion window in packets.
+func (s *Swift) Cwnd() float64 { return s.cwnd }
+
+// SRTT returns the smoothed round-trip estimate (zero until first sample).
+func (s *Swift) SRTT() time.Duration { return s.srtt }
+
+// TargetDelay returns the delay target for a path with the given hop count.
+func (s *Swift) TargetDelay(hops int) time.Duration {
+	return s.cfg.BaseTargetDelay + time.Duration(hops)*s.cfg.PerHopDelay
+}
+
+// Sample is one congestion signal delivered with an ACK.
+type Sample struct {
+	// FabricDelay is (t4-t1)-(t3-t2): wire-to-wire delay minus receiver
+	// residence time.
+	FabricDelay time.Duration
+	// RTT is the full round trip (t4-t1), used for SRTT.
+	RTT time.Duration
+	// AckedPackets is how many packets this ACK newly acknowledged for
+	// the flow.
+	AckedPackets int
+	// Hops is the path hop count, scaling the delay target.
+	Hops int
+	// Now is the local time of the ACK arrival.
+	Now sim.Time
+}
+
+// OnAck folds one delay sample into the window and returns the new fcwnd.
+//
+// Below target: additive increase of AI/cwnd per acked packet (≈ AI per
+// RTT). Above target: multiplicative decrease proportional to the overshoot
+// fraction, capped by MaxMDF and applied at most once per SRTT.
+func (s *Swift) OnAck(sm Sample) float64 {
+	if sm.RTT > 0 {
+		if s.srtt == 0 {
+			s.srtt = sm.RTT
+		} else {
+			s.srtt = (7*s.srtt + sm.RTT) / 8
+		}
+	}
+	target := s.TargetDelay(sm.Hops)
+	acked := sm.AckedPackets
+	if acked <= 0 {
+		acked = 1
+	}
+	if sm.FabricDelay <= target {
+		if s.cwnd >= 1 {
+			s.cwnd += s.cfg.AI * float64(acked) / s.cwnd
+		} else {
+			s.cwnd += s.cfg.AI * float64(acked) * s.cwnd
+		}
+	} else if s.canDecrease(sm.Now) {
+		over := float64(sm.FabricDelay-target) / float64(sm.FabricDelay)
+		factor := 1 - s.cfg.Beta*over
+		if factor < 1-s.cfg.MaxMDF {
+			factor = 1 - s.cfg.MaxMDF
+		}
+		s.cwnd *= factor
+		s.tLast = sm.Now
+		s.decreased = true
+	}
+	s.cwnd = clamp(s.cwnd, s.cfg.MinCwnd, s.cfg.MaxCwnd)
+	return s.cwnd
+}
+
+// OnRetransmitTimeout collapses the window after an RTO.
+func (s *Swift) OnRetransmitTimeout() float64 {
+	s.cwnd = clamp(s.cfg.RTOCwnd, s.cfg.MinCwnd, s.cfg.MaxCwnd)
+	return s.cwnd
+}
+
+// OnECN applies a gentle multiplicative decrease for an ECN echo (a
+// supplementary congestion signal: milder than a delay overshoot, gated
+// once per RTT like every decrease).
+func (s *Swift) OnECN(now sim.Time) float64 {
+	if s.canDecrease(now) {
+		s.cwnd = clamp(s.cwnd*(1-s.cfg.MaxMDF/2), s.cfg.MinCwnd, s.cfg.MaxCwnd)
+		s.tLast = now
+		s.decreased = true
+	}
+	return s.cwnd
+}
+
+// OnFastRetransmit applies a single multiplicative decrease when loss is
+// detected by SACK/RACK rather than timeout.
+func (s *Swift) OnFastRetransmit(now sim.Time) float64 {
+	if s.canDecrease(now) {
+		s.cwnd = clamp(s.cwnd*(1-s.cfg.MaxMDF), s.cfg.MinCwnd, s.cfg.MaxCwnd)
+		s.tLast = now
+		s.decreased = true
+	}
+	return s.cwnd
+}
+
+func (s *Swift) canDecrease(now sim.Time) bool {
+	if !s.decreased || s.srtt == 0 {
+		return true
+	}
+	return now.Sub(s.tLast) >= s.srtt
+}
+
+// PacingDelay returns the inter-packet gap implied by a fractional window:
+// with cwnd < 1 the sender may emit one packet per srtt/cwnd.
+func (s *Swift) PacingDelay() time.Duration {
+	if s.cwnd >= 1 || s.srtt == 0 {
+		return 0
+	}
+	return time.Duration(float64(s.srtt) / s.cwnd)
+}
+
+// NcwndConfig parameterizes the NIC congestion window loop (§4.2 "Handling
+// Rx NIC Congestion"): AIMD on the receiver's RX buffer occupancy so that
+// occupancy converges to TargetOccupancy.
+type NcwndConfig struct {
+	// TargetOccupancy is the desired RX buffer occupancy fraction.
+	TargetOccupancy float64
+	// AI is the additive increase per acked packet below target.
+	AI float64
+	// Beta scales decrease with occupancy overshoot.
+	Beta float64
+	// MaxMDF caps one decrease.
+	MaxMDF float64
+	// MinCwnd and MaxCwnd bound the window in packets.
+	MinCwnd, MaxCwnd float64
+}
+
+// DefaultNcwndConfig returns the evaluation's NIC-window settings.
+func DefaultNcwndConfig() NcwndConfig {
+	return NcwndConfig{
+		TargetOccupancy: 0.25,
+		AI:              1.0,
+		Beta:            0.8,
+		MaxMDF:          0.5,
+		MinCwnd:         1,
+		MaxCwnd:         1024,
+	}
+}
+
+// Ncwnd is the per-connection NIC congestion window controller.
+type Ncwnd struct {
+	cfg       NcwndConfig
+	cwnd      float64
+	tLast     sim.Time
+	decreased bool
+	srtt      time.Duration
+}
+
+// NewNcwnd creates the controller with the given initial window.
+func NewNcwnd(cfg NcwndConfig, initial float64) *Ncwnd {
+	if initial <= 0 {
+		initial = cfg.MaxCwnd / 4
+	}
+	return &Ncwnd{cfg: cfg, cwnd: clamp(initial, cfg.MinCwnd, cfg.MaxCwnd)}
+}
+
+// Cwnd returns the current NIC congestion window in packets.
+func (n *Ncwnd) Cwnd() float64 { return n.cwnd }
+
+// OnAck folds one RX-buffer-occupancy sample (0..1) into the window.
+func (n *Ncwnd) OnAck(occupancy float64, acked int, rtt time.Duration, now sim.Time) float64 {
+	if rtt > 0 {
+		if n.srtt == 0 {
+			n.srtt = rtt
+		} else {
+			n.srtt = (7*n.srtt + rtt) / 8
+		}
+	}
+	if acked <= 0 {
+		acked = 1
+	}
+	if occupancy <= n.cfg.TargetOccupancy {
+		if n.cwnd >= 1 {
+			n.cwnd += n.cfg.AI * float64(acked) / n.cwnd
+		} else {
+			n.cwnd += n.cfg.AI * float64(acked) * n.cwnd
+		}
+	} else if !n.decreased || n.srtt == 0 || now.Sub(n.tLast) >= n.srtt {
+		over := (occupancy - n.cfg.TargetOccupancy) / math.Max(occupancy, 1e-9)
+		factor := 1 - n.cfg.Beta*over
+		if factor < 1-n.cfg.MaxMDF {
+			factor = 1 - n.cfg.MaxMDF
+		}
+		n.cwnd *= factor
+		n.tLast = now
+		n.decreased = true
+	}
+	n.cwnd = clamp(n.cwnd, n.cfg.MinCwnd, n.cfg.MaxCwnd)
+	return n.cwnd
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+package fae
+
+import "time"
+
+// StateMode selects how the FAE manages per-connection algorithm state
+// (§5.3): stateless offloads state to the PDL (embedded in events), stateful
+// fetches it from memory on each event, and stateful-with-prefetch looks
+// ahead in the event queue and prefetches the upcoming event's state so the
+// fetch overlaps processing.
+type StateMode int
+
+const (
+	// Stateless embeds all algorithm state in the event itself.
+	Stateless StateMode = iota
+	// Stateful fetches per-connection state from the memory hierarchy on
+	// every event.
+	Stateful
+	// StatefulPrefetch is Stateful plus event-queue lookahead prefetch.
+	StatefulPrefetch
+)
+
+func (m StateMode) String() string {
+	switch m {
+	case Stateless:
+		return "stateless"
+	case Stateful:
+		return "stateful"
+	case StatefulPrefetch:
+		return "stateful+prefetch"
+	}
+	return "unknown"
+}
+
+// CacheModel describes the on-NIC CPU's memory hierarchy (§5.3: each FAE
+// core has private L1/L2 and a shared L3). Costs are average random-access
+// latencies per event for state resident at each level.
+type CacheModel struct {
+	L1Bytes, L2Bytes, L3Bytes int
+	L1Cost, L2Cost, L3Cost    time.Duration
+	DRAMCost                  time.Duration
+
+	// BaseCost is the per-event pipeline cost excluding state access
+	// (algorithm arithmetic, queue handling).
+	BaseCost time.Duration
+
+	// PrefetchHide is the maximum fetch latency the lookahead prefetch
+	// can overlap with the previous event's processing.
+	PrefetchHide time.Duration
+}
+
+// DefaultCacheModel models the Neoverse-N1 class core of the evaluation
+// (Figure 22a: ~20M events/s sustained with prefetching).
+func DefaultCacheModel() CacheModel {
+	return CacheModel{
+		L1Bytes:      64 << 10,
+		L2Bytes:      1 << 20,
+		L3Bytes:      8 << 20,
+		L1Cost:       4 * time.Nanosecond,
+		L2Cost:       12 * time.Nanosecond,
+		L3Cost:       40 * time.Nanosecond,
+		DRAMCost:     130 * time.Nanosecond,
+		BaseCost:     48 * time.Nanosecond,
+		PrefetchHide: 100 * time.Nanosecond,
+	}
+}
+
+// FetchCost returns the expected per-event state-fetch latency when
+// conns connections each hold stateBytes of algorithm state and events
+// address connections uniformly at random. The expectation distributes a
+// random access across the levels that the cumulative state spills into,
+// assuming ideal (fully-utilized) caching of the hottest fraction.
+func (c CacheModel) FetchCost(conns int, stateBytes int) time.Duration {
+	total := float64(conns) * float64(stateBytes)
+	if total <= 0 {
+		return c.L1Cost
+	}
+	// Fractions of the working set resident at each level.
+	resident := func(capacity int) float64 {
+		f := float64(capacity) / total
+		if f > 1 {
+			f = 1
+		}
+		return f
+	}
+	fL1 := resident(c.L1Bytes)
+	fL2 := resident(c.L2Bytes) - fL1
+	if fL2 < 0 {
+		fL2 = 0
+	}
+	fL3 := resident(c.L3Bytes) - fL1 - fL2
+	if fL3 < 0 {
+		fL3 = 0
+	}
+	fDRAM := 1 - fL1 - fL2 - fL3
+	if fDRAM < 0 {
+		fDRAM = 0
+	}
+	cost := fL1*float64(c.L1Cost) + fL2*float64(c.L2Cost) +
+		fL3*float64(c.L3Cost) + fDRAM*float64(c.DRAMCost)
+	return time.Duration(cost)
+}
+
+// EventCost returns the expected per-event processing time for the given
+// state mode, connection count and per-connection state size.
+func (c CacheModel) EventCost(mode StateMode, conns, stateBytes int) time.Duration {
+	switch mode {
+	case Stateless:
+		// State rides in the event; the PDL bears the storage. The
+		// event itself is larger but stays in cache-resident queues.
+		return c.BaseCost
+	case Stateful:
+		return c.BaseCost + c.FetchCost(conns, stateBytes)
+	case StatefulPrefetch:
+		fetch := c.FetchCost(conns, stateBytes)
+		hidden := c.PrefetchHide
+		if hidden > fetch {
+			hidden = fetch
+		}
+		return c.BaseCost + fetch - hidden
+	}
+	return c.BaseCost
+}
+
+// EventRate returns events/second for the given configuration — the metric
+// of Figures 22a and 23.
+func (c CacheModel) EventRate(mode StateMode, conns, stateBytes int) float64 {
+	cost := c.EventCost(mode, conns, stateBytes)
+	if cost <= 0 {
+		return 0
+	}
+	return 1e9 / float64(cost.Nanoseconds())
+}

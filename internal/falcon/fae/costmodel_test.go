@@ -1,0 +1,103 @@
+package fae
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStatelessFlatAcrossConnCounts(t *testing.T) {
+	m := DefaultCacheModel()
+	r1 := m.EventRate(Stateless, 1000, 64)
+	r2 := m.EventRate(Stateless, 1_000_000, 64)
+	if r1 != r2 {
+		t.Fatalf("stateless rate varies with conns: %v vs %v", r1, r2)
+	}
+	if r1 < 15e6 {
+		t.Fatalf("stateless rate %v below ~20M events/s regime", r1)
+	}
+}
+
+func TestStatefulDegradesWithConnCount(t *testing.T) {
+	m := DefaultCacheModel()
+	small := m.EventRate(Stateful, 1000, 64)
+	large := m.EventRate(Stateful, 1_000_000, 64)
+	if large >= small {
+		t.Fatalf("stateful rate should degrade: %v -> %v", small, large)
+	}
+	if small/large < 1.5 {
+		t.Fatalf("degradation too mild: %v -> %v", small, large)
+	}
+}
+
+func TestPrefetchRecoversMostOfTheLoss(t *testing.T) {
+	m := DefaultCacheModel()
+	conns := 128_000
+	naive := m.EventRate(Stateful, conns, 64)
+	prefetch := m.EventRate(StatefulPrefetch, conns, 64)
+	stateless := m.EventRate(Stateless, conns, 64)
+	if prefetch <= naive {
+		t.Fatalf("prefetch %v not better than naive %v", prefetch, naive)
+	}
+	// Figure 22a: prefetching maintains ~stateless rate at 128K conns.
+	if prefetch < stateless*0.85 {
+		t.Fatalf("prefetch %v too far below stateless %v", prefetch, stateless)
+	}
+}
+
+func TestFig23ShapeStateSizeSensitivity(t *testing.T) {
+	// Figure 23: at 128K connections, 64B state ~20M events/s and an
+	// 8x larger state (512B) drops only to ~15M.
+	m := DefaultCacheModel()
+	at64 := m.EventRate(StatefulPrefetch, 128_000, 64)
+	at512 := m.EventRate(StatefulPrefetch, 128_000, 512)
+	if at64 < 17e6 || at64 > 24e6 {
+		t.Fatalf("64B rate = %.1fM, want ~20M", at64/1e6)
+	}
+	if at512 < 11e6 || at512 > 18e6 {
+		t.Fatalf("512B rate = %.1fM, want ~15M", at512/1e6)
+	}
+	if at512 >= at64 {
+		t.Fatal("larger state should not be faster")
+	}
+}
+
+func TestFetchCostMonotonicInWorkingSet(t *testing.T) {
+	m := DefaultCacheModel()
+	prev := time.Duration(0)
+	for _, conns := range []int{100, 1000, 10_000, 100_000, 1_000_000} {
+		c := m.FetchCost(conns, 64)
+		if c < prev {
+			t.Fatalf("fetch cost decreased at %d conns: %v < %v", conns, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestFetchCostTinyWorkingSetHitsL1(t *testing.T) {
+	m := DefaultCacheModel()
+	if got := m.FetchCost(10, 64); got != m.L1Cost {
+		t.Fatalf("small working set cost = %v, want L1 %v", got, m.L1Cost)
+	}
+	if got := m.FetchCost(0, 64); got != m.L1Cost {
+		t.Fatalf("zero conns cost = %v", got)
+	}
+}
+
+func TestFetchCostHugeWorkingSetApproachesDRAM(t *testing.T) {
+	m := DefaultCacheModel()
+	got := m.FetchCost(10_000_000, 512) // 5GB working set
+	if got < m.DRAMCost*99/100 {
+		t.Fatalf("huge working set cost = %v, want ~DRAM %v", got, m.DRAMCost)
+	}
+}
+
+func TestStateModeString(t *testing.T) {
+	if Stateless.String() != "stateless" ||
+		Stateful.String() != "stateful" ||
+		StatefulPrefetch.String() != "stateful+prefetch" {
+		t.Fatal("StateMode strings wrong")
+	}
+	if StateMode(42).String() != "unknown" {
+		t.Fatal("unknown mode string")
+	}
+}

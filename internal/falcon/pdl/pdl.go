@@ -1,0 +1,422 @@
+// Package pdl implements Falcon's Packet Delivery Layer (§4.1–§4.3): the
+// per-connection hardware pipeline that provides reliable packet delivery
+// over a lossy, reordering, multipath fabric.
+//
+// Responsibilities, mirroring the paper:
+//
+//   - Reliability: per-space sliding TX windows, a 128-bit RX bitmap
+//     piggybacked on ACKs (SACK), RACK-TLP loss detection per flow, and an
+//     RTO fallback. An OOO-distance heuristic is included as the ablation
+//     baseline of Figure 11b.
+//   - Congestion control enforcement: the PDL measures per-packet delay via
+//     the four hardware timestamps, forwards signals to the FAE, and
+//     enforces the returned windows — requests against min(fcwnd, ncwnd),
+//     Pull Responses against fcwnd only (the requester pre-reserved RX
+//     resources, §4.4).
+//   - Multipathing: an indexed list of flows per connection; each packet is
+//     mapped to the flow with the largest open congestion window and carries
+//     that flow's label (§4.3).
+//
+// The PDL is transport mechanism only: all parameter computation (Swift,
+// RACK/TLP timeouts, repathing, α_c) lives in the FAE.
+package pdl
+
+import (
+	"time"
+
+	"falcon/internal/falcon/fae"
+	"falcon/internal/falcon/wire"
+	"falcon/internal/sim"
+)
+
+// RecoveryMode selects the sender's loss-detection heuristic.
+type RecoveryMode int
+
+const (
+	// RecoveryRackTLP is production Falcon: time-based RACK with tail
+	// loss probes (§4.1).
+	RecoveryRackTLP RecoveryMode = iota
+	// RecoveryOOODistance is the 200G-Falcon initial scheme: a packet is
+	// eligible for retransmission when a packet with PSN at least
+	// OOODistance higher has been SACKed (FACK-style; Figure 11b).
+	RecoveryOOODistance
+)
+
+func (m RecoveryMode) String() string {
+	if m == RecoveryOOODistance {
+		return "ooo-distance"
+	}
+	return "rack-tlp"
+}
+
+// PathPolicy selects how packets map to multipath flows (Figure 17).
+type PathPolicy int
+
+const (
+	// PolicyCongestionAware picks the flow with the largest open window.
+	PolicyCongestionAware PathPolicy = iota
+	// PolicyRoundRobin sprays packets across flows obliviously.
+	PolicyRoundRobin
+)
+
+func (p PathPolicy) String() string {
+	if p == PolicyRoundRobin {
+		return "round-robin"
+	}
+	return "congestion-aware"
+}
+
+// Config parameterizes a PDL connection.
+type Config struct {
+	// WindowSize is the per-space limit on outstanding PSNs; it matches
+	// the 128-bit ACK bitmap so the receiver can always describe the
+	// sender's outstanding range.
+	WindowSize int
+	// NumFlows is the number of multipath flows (1 = single path).
+	NumFlows int
+	// Policy selects the packet-to-flow mapping.
+	Policy PathPolicy
+	// Recovery selects the loss-detection heuristic.
+	Recovery RecoveryMode
+	// OOODistance is the FACK threshold for RecoveryOOODistance.
+	OOODistance int
+	// AckCoalesceCount triggers an ACK after this many data packets
+	// arrive for one flow.
+	AckCoalesceCount int
+	// AckCoalesceDelay bounds ACK latency when the count is not reached.
+	AckCoalesceDelay time.Duration
+	// ARInterval sets the AckReq bit every N-th data packet of a flow so
+	// the sender keeps RTT samples flowing on long transfers.
+	ARInterval int
+
+	// InitialRTO seeds timers before the FAE provides measurements.
+	InitialRTO time.Duration
+	// MaxRTOBackoff caps exponential RTO backoff.
+	MaxRTOBackoff time.Duration
+	// MaxConsecutiveRTOs is the retry budget: a connection that times
+	// out this many times without any ACK progress is declared failed
+	// (Callbacks.Failed fires once) rather than retrying forever.
+	// Zero disables the budget (retry forever).
+	MaxConsecutiveRTOs int
+}
+
+// DefaultConfig returns the settings used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		WindowSize:         wire.BitmapBits,
+		NumFlows:           4,
+		Policy:             PolicyCongestionAware,
+		Recovery:           RecoveryRackTLP,
+		OOODistance:        3,
+		AckCoalesceCount:   2,
+		AckCoalesceDelay:   5 * time.Microsecond,
+		ARInterval:         8,
+		InitialRTO:         200 * time.Microsecond,
+		MaxRTOBackoff:      20 * time.Millisecond,
+		MaxConsecutiveRTOs: 12,
+	}
+}
+
+// DeliverVerdictKind is the TL's synchronous answer to a delivered packet.
+type DeliverVerdictKind int
+
+const (
+	// DeliverAccept: packet accepted; it will be ACKed.
+	DeliverAccept DeliverVerdictKind = iota
+	// DeliverNoResources: TL has no RX resources; the PDL replies with a
+	// resource NACK and the packet is not recorded as received.
+	DeliverNoResources
+	// DeliverRNR: the target ULP is not ready; the PDL replies with an
+	// RNR NACK carrying RetryDelay. The packet is recorded as received
+	// at the PDL level (the transaction retry is TL business).
+	DeliverRNR
+	// DeliverCIE: the target ULP failed the transaction; a CIE NACK
+	// completes it in error at the initiator. Recorded as received.
+	DeliverCIE
+)
+
+// DeliverVerdict is returned by Callbacks.Deliver.
+type DeliverVerdict struct {
+	Kind       DeliverVerdictKind
+	RetryDelay time.Duration // RNR retry hint
+}
+
+// Callbacks wires a connection's PDL to its NIC, TL and FAE.
+type Callbacks struct {
+	// Send transmits a packet onto the fabric (via the NIC model).
+	Send func(p *wire.Packet)
+	// Deliver hands an arriving data packet to the transaction layer.
+	Deliver func(p *wire.Packet) DeliverVerdict
+	// PacketAcked notifies the TL that a transmitted packet has been
+	// acknowledged (TX resource release, unordered completions).
+	PacketAcked func(space wire.Space, psn uint32, rsn uint64, typ wire.Type)
+	// Completed advances the initiator's ordered completion horizon: all
+	// transactions with RSN < completedRSN are done at the target.
+	Completed func(completedRSN uint64)
+	// NackReceived passes RNR/CIE NACKs up to the TL.
+	NackReceived func(p *wire.Packet)
+	// Failed reports a terminal connection failure (RTO budget
+	// exhausted); the TL errors all pending transactions.
+	Failed func(err error)
+	// PostEvent posts a congestion/loss event to the FAE.
+	PostEvent func(ev fae.Event)
+	// RxBufOccupancy samples the NIC RX buffer occupancy (0..1) when
+	// building an ACK.
+	RxBufOccupancy func() float64
+	// CompletedRSN samples the TL's cumulative completed RSN when
+	// building an ACK (zero if the connection is unordered).
+	CompletedRSN func() uint64
+}
+
+// txPacket tracks one outstanding transmitted packet (the per-packet
+// context of §5.2's hardware error handling).
+type txPacket struct {
+	pkt    *wire.Packet
+	txTime sim.Time
+	origTx sim.Time // first transmission time (for RTT-valid sampling)
+	flow   int
+	acked  bool
+	retx   int
+	nacked bool // resource-NACKed, awaiting scheduled retransmit
+}
+
+// txSpace is the sender side of one sequence space.
+type txSpace struct {
+	space wire.Space
+	next  uint32 // next PSN to assign
+	base  uint32 // lowest unacked PSN
+	pkts  []*txPacket
+	// outstanding counts unacked transmitted packets.
+	outstanding int
+}
+
+func (s *txSpace) slot(psn uint32) *txPacket { return s.pkts[int(psn)%len(s.pkts)] }
+func (s *txSpace) setSlot(psn uint32, p *txPacket) {
+	s.pkts[int(psn)%len(s.pkts)] = p
+}
+
+// rxSpace is the receiver side of one sequence space.
+type rxSpace struct {
+	base   uint32
+	bitmap wire.Bitmap
+}
+
+// rxFlow is per-flow receiver state: the latest timestamp pair for delay
+// computation, the ACK coalescing counter, and the pending ECN echo.
+type rxFlow struct {
+	t1, t2   int64
+	pending  int
+	ackTimer sim.Timer
+	valid    bool
+	ceSeen   bool
+}
+
+// flowState is per-flow sender state.
+type flowState struct {
+	label       wire.FlowLabel
+	fcwnd       float64
+	outstanding int
+	// rackXmit is the latest original-transmission time among packets
+	// of this flow that have been SACKed (per-flow RACK, §4.3).
+	rackXmit sim.Time
+	sent     uint64 // data packets sent on this flow (AR cadence)
+}
+
+// Stats counts per-connection PDL activity.
+type Stats struct {
+	DataSent        uint64
+	DataRetransmits uint64
+	TLPProbes       uint64
+	RTOs            uint64
+	AcksSent        uint64
+	AcksReceived    uint64
+	Duplicates      uint64
+	NacksSent       uint64
+	NacksReceived   uint64
+	DeliveredToTL   uint64
+	RxWindowDrops   uint64
+}
+
+// Conn is one Falcon connection's PDL instance (one direction's sender and
+// receiver state; a connection is full-duplex so both peers instantiate
+// one).
+type Conn struct {
+	sim  *sim.Simulator
+	cfg  Config
+	cb   Callbacks
+	id   uint32
+	hops int // last observed path hop count
+
+	// Sender state.
+	tx     [wire.NumSpaces]*txSpace
+	flows  []*flowState
+	ncwnd  float64
+	reqQ   []*wire.Packet // queued request-space packets from TL
+	respQ  []*wire.Packet // queued response-space packets from TL
+	rrNext int            // round-robin cursor for PolicyRoundRobin
+
+	rto        time.Duration
+	rackReoWnd time.Duration
+	tlpTimeout time.Duration
+	rtoBackoff int
+
+	// reoWndMult adapts the RACK reordering window upward when spurious
+	// retransmissions are detected (RFC 8985 §7.1 behaviour: reordering
+	// past the window means the window was too small).
+	reoWndMult int
+	// srttHint is a local smoothed RTT used for spuriousness detection
+	// and as the adaptive reo-window cap.
+	srttHint time.Duration
+
+	rtoTimer  sim.Timer
+	tlpTimer  sim.Timer
+	rackTimer sim.Timer
+	paceTimer sim.Timer
+	// nextPaced is the earliest instant a fractional-window connection
+	// may transmit its next packet (Carousel-style pacing: one packet
+	// per srtt/cwnd).
+	nextPaced sim.Time
+
+	// Receiver state.
+	rx     [wire.NumSpaces]*rxSpace
+	rxFlow []*rxFlow
+
+	// lastAckProgress notes the last time an ACK advanced anything, for
+	// TLP's "period of inactivity".
+	lastAckProgress sim.Time
+
+	// consecRTOs counts timeouts since the last ACK progress; at the
+	// configured budget the connection is declared failed.
+	consecRTOs int
+	failed     bool
+
+	Stats Stats
+}
+
+// ErrConnectionLost is reported via Callbacks.Failed when the RTO budget
+// is exhausted without any acknowledgment progress.
+var ErrConnectionLost = errConnectionLost{}
+
+type errConnectionLost struct{}
+
+func (errConnectionLost) Error() string {
+	return "pdl: connection lost (retransmission budget exhausted)"
+}
+
+// Failed reports whether the connection has been declared dead.
+func (c *Conn) Failed() bool { return c.failed }
+
+// NewConn builds a connection PDL. The FAE must be told about the
+// connection separately (fae.RegisterConn); labels are installed via
+// SetFlowLabels or ApplyResponse.
+func NewConn(s *sim.Simulator, id uint32, cfg Config, cb Callbacks) *Conn {
+	if cfg.WindowSize <= 0 || cfg.WindowSize > wire.BitmapBits {
+		cfg.WindowSize = wire.BitmapBits
+	}
+	if cfg.NumFlows < 1 {
+		cfg.NumFlows = 1
+	}
+	if cfg.NumFlows > wire.MaxFlows {
+		cfg.NumFlows = wire.MaxFlows
+	}
+	if cfg.AckCoalesceCount < 1 {
+		cfg.AckCoalesceCount = 1
+	}
+	if cfg.InitialRTO <= 0 {
+		cfg.InitialRTO = 200 * time.Microsecond
+	}
+	c := &Conn{
+		sim:        s,
+		cfg:        cfg,
+		cb:         cb,
+		id:         id,
+		rto:        cfg.InitialRTO,
+		rackReoWnd: cfg.InitialRTO / 8,
+		tlpTimeout: cfg.InitialRTO / 2,
+		reoWndMult: 1,
+		ncwnd:      float64(cfg.WindowSize),
+	}
+	for i := range c.tx {
+		c.tx[i] = &txSpace{space: wire.Space(i), pkts: make([]*txPacket, cfg.WindowSize)}
+		c.rx[i] = &rxSpace{}
+	}
+	for i := 0; i < cfg.NumFlows; i++ {
+		c.flows = append(c.flows, &flowState{
+			label: wire.MakeFlowLabel(uint32(id)*wire.MaxFlows+uint32(i)+1, i),
+			fcwnd: 16 / float64(cfg.NumFlows),
+		})
+		c.rxFlow = append(c.rxFlow, &rxFlow{})
+	}
+	return c
+}
+
+// ID returns the connection ID.
+func (c *Conn) ID() uint32 { return c.id }
+
+// FlowLabel returns flow i's current label.
+func (c *Conn) FlowLabel(i int) wire.FlowLabel { return c.flows[i].label }
+
+// SetFlowLabels installs initial labels (from fae.RegisterConn).
+func (c *Conn) SetFlowLabels(labels []wire.FlowLabel) {
+	for i, l := range labels {
+		if i < len(c.flows) {
+			c.flows[i].label = l
+		}
+	}
+}
+
+// EffectiveWindow returns min(Σ fcwnd, ncwnd) — the connection-level send
+// window for request-space packets.
+func (c *Conn) EffectiveWindow() float64 {
+	f := c.connFcwnd()
+	if c.ncwnd < f {
+		return c.ncwnd
+	}
+	return f
+}
+
+// Ncwnd returns the connection's NIC congestion window.
+func (c *Conn) Ncwnd() float64 { return c.ncwnd }
+
+// SRTT returns the connection's locally smoothed RTT estimate
+// (diagnostics).
+func (c *Conn) SRTT() time.Duration { return c.srttHint }
+
+func (c *Conn) connFcwnd() float64 {
+	sum := 0.0
+	for _, f := range c.flows {
+		sum += f.fcwnd
+	}
+	return sum
+}
+
+func (c *Conn) totalOutstanding() int {
+	return c.tx[0].outstanding + c.tx[1].outstanding
+}
+
+// QueuedPackets returns packets accepted from the TL but not yet
+// transmitted (scheduler backlog).
+func (c *Conn) QueuedPackets() int { return len(c.reqQ) + len(c.respQ) }
+
+// Outstanding returns the number of transmitted-but-unacked packets.
+func (c *Conn) Outstanding() int { return c.totalOutstanding() }
+
+// ApplyResponse installs FAE-computed parameters (the FAE→PDL response ring
+// of Figure 9) and reattempts transmission since windows may have opened.
+func (c *Conn) ApplyResponse(r fae.Response) {
+	if r.Flow >= 0 && r.Flow < len(c.flows) {
+		c.flows[r.Flow].fcwnd = r.FlowCwnd
+		c.flows[r.Flow].label = r.FlowLabel
+	}
+	c.ncwnd = r.NCwnd
+	if r.RTO > 0 {
+		c.rto = r.RTO
+	}
+	if r.RackReoWnd > 0 {
+		c.rackReoWnd = r.RackReoWnd
+	}
+	if r.TLPTimeout > 0 {
+		c.tlpTimeout = r.TLPTimeout
+	}
+	c.trySend()
+}

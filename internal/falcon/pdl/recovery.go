@@ -1,0 +1,190 @@
+package pdl
+
+import (
+	"time"
+
+	"falcon/internal/falcon/fae"
+	"falcon/internal/sim"
+)
+
+// runRecovery applies the configured loss-detection heuristic to the TX
+// scoreboard after ACK processing.
+func (c *Conn) runRecovery(now sim.Time) {
+	switch c.cfg.Recovery {
+	case RecoveryRackTLP:
+		c.runRack(now)
+	case RecoveryOOODistance:
+		c.runOOODistance()
+	}
+}
+
+// runRack implements the RACK heuristic of §4.1, per flow (§4.3): a packet
+// is deemed lost when (a) a packet transmitted later on the same flow has
+// been SACKed (so the path has delivered past it), and (b) at least the
+// reordering window has elapsed since its transmission. Packets not yet
+// eligible get a timer at their eligibility instant.
+func (c *Conn) runRack(now sim.Time) {
+	reoWnd := c.rackReoWnd * time.Duration(c.reoWndMult)
+	if c.srttHint > 0 && reoWnd > 2*c.srttHint {
+		reoWnd = 2 * c.srttHint
+	}
+	var lost []*txPacket
+	var nextCheck sim.Time
+	for _, ts := range c.tx {
+		for psn := ts.base; psn != ts.next; psn++ {
+			tp := ts.slot(psn)
+			if tp == nil || tp.acked || tp.nacked {
+				continue
+			}
+			f := c.flows[tp.flow]
+			if f.rackXmit <= tp.txTime {
+				// Nothing sent after it has been delivered:
+				// reordering cannot be ruled out yet.
+				continue
+			}
+			eligibleAt := tp.txTime.Add(reoWnd)
+			if eligibleAt <= now {
+				lost = append(lost, tp)
+			} else if nextCheck == 0 || eligibleAt < nextCheck {
+				nextCheck = eligibleAt
+			}
+		}
+	}
+	for _, tp := range lost {
+		c.retransmit(tp, false)
+	}
+	if len(lost) > 0 && c.cb.PostEvent != nil {
+		c.cb.PostEvent(fae.Event{
+			Kind: fae.EventFastRetransmit,
+			Conn: c.id,
+			Flow: lost[0].flow,
+			Now:  now,
+		})
+	}
+	if nextCheck > 0 {
+		if c.rackTimer.Pending() {
+			c.rackTimer.Stop()
+		}
+		c.rackTimer = c.sim.At(nextCheck, func() { c.runRack(c.sim.Now()) })
+	}
+}
+
+// runOOODistance implements the ablation baseline of Figure 11b: a packet
+// is retransmitted when a PSN at least OOODistance above it has been
+// SACKed, regardless of time — fast for true losses, spurious under
+// reordering.
+func (c *Conn) runOOODistance() {
+	dist := uint32(c.cfg.OOODistance)
+	if dist == 0 {
+		dist = 3
+	}
+	retransmitted := false
+	for _, ts := range c.tx {
+		// Highest SACKed PSN in this space.
+		var highest uint32
+		var haveHighest bool
+		for psn := ts.base; psn != ts.next; psn++ {
+			tp := ts.slot(psn)
+			if tp != nil && tp.acked {
+				highest = psn
+				haveHighest = true
+			}
+		}
+		if !haveHighest {
+			continue
+		}
+		for psn := ts.base; psn != ts.next; psn++ {
+			if int64(highest)-int64(psn) < int64(dist) {
+				break
+			}
+			tp := ts.slot(psn)
+			if tp == nil || tp.acked || tp.nacked {
+				continue
+			}
+			c.retransmit(tp, false)
+			retransmitted = true
+		}
+	}
+	if retransmitted && c.cb.PostEvent != nil {
+		c.cb.PostEvent(fae.Event{
+			Kind: fae.EventFastRetransmit,
+			Conn: c.id,
+			Now:  c.sim.Now(),
+		})
+	}
+}
+
+// onTLP fires the tail loss probe: after tlpTimeout of ACK inactivity, the
+// lowest unacked PSN is retransmitted to elicit a fresh ACK whose bitmap
+// lets RACK repair the tail (§4.1).
+func (c *Conn) onTLP() {
+	if c.totalOutstanding() == 0 {
+		return
+	}
+	if c.sim.Now().Sub(c.lastAckProgress) < c.tlpTimeout {
+		// Progress happened since arming; re-arm for the remainder.
+		c.tlpTimer = c.sim.After(c.tlpTimeout, c.onTLP)
+		return
+	}
+	var probe *txPacket
+	for _, ts := range c.tx {
+		if tp := ts.lowestUnacked(); tp != nil && (probe == nil || tp.txTime < probe.txTime) {
+			probe = tp
+		}
+	}
+	if probe != nil {
+		c.Stats.TLPProbes++
+		c.retransmit(probe, true)
+	}
+	// The RTO remains armed as the backstop; TLP re-arms on new ACKs.
+}
+
+// onRTO is the last-resort timeout: collapse the window via the FAE (which
+// also flips the flow label — PRR), retransmit the head of each space, and
+// back off exponentially.
+func (c *Conn) onRTO() {
+	if c.failed || c.totalOutstanding() == 0 {
+		return
+	}
+	c.Stats.RTOs++
+	c.consecRTOs++
+	if c.cfg.MaxConsecutiveRTOs > 0 && c.consecRTOs >= c.cfg.MaxConsecutiveRTOs {
+		c.fail()
+		return
+	}
+	now := c.sim.Now()
+	for _, ts := range c.tx {
+		if tp := ts.lowestUnacked(); tp != nil {
+			if c.cb.PostEvent != nil {
+				c.cb.PostEvent(fae.Event{
+					Kind: fae.EventRTO, Conn: c.id, Flow: tp.flow, Now: now,
+				})
+			}
+			c.retransmit(tp, false)
+		}
+	}
+	if c.rtoBackoff < 8 {
+		c.rtoBackoff++
+	}
+	c.rtoTimer.Stop()
+	c.armTimers()
+}
+
+// fail declares the connection dead: timers stop, queues drop, and the TL
+// is told to error everything pending (§5.2: exceptions are handled in the
+// fast path, not by retrying forever).
+func (c *Conn) fail() {
+	if c.failed {
+		return
+	}
+	c.failed = true
+	c.rtoTimer.Stop()
+	c.tlpTimer.Stop()
+	c.rackTimer.Stop()
+	c.paceTimer.Stop()
+	c.reqQ = nil
+	c.respQ = nil
+	if c.cb.Failed != nil {
+		c.cb.Failed(ErrConnectionLost)
+	}
+}

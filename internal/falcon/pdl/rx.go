@@ -1,0 +1,354 @@
+package pdl
+
+import (
+	"time"
+
+	"falcon/internal/falcon/fae"
+	"falcon/internal/falcon/wire"
+	"falcon/internal/sim"
+)
+
+// HandlePacket is the connection's ingress from the fabric. hops is the
+// path hop count observed by the NIC (a congestion-signal input, Table 3).
+func (c *Conn) HandlePacket(p *wire.Packet, hops int) {
+	if c.failed {
+		return
+	}
+	c.hops = hops
+	switch p.Type {
+	case wire.TypeAck:
+		c.handleAck(p)
+	case wire.TypeNack:
+		c.handleNack(p)
+	default:
+		if p.Type.IsData() {
+			c.handleData(p)
+		}
+	}
+}
+
+// handleData runs the receiver pipeline: RX window bookkeeping, delivery to
+// the TL, and ACK generation with per-flow coalescing (§4.1, §4.3).
+func (c *Conn) handleData(p *wire.Packet) {
+	rs := c.rx[p.Space]
+	flowIdx := p.FlowLabel.FlowIndex()
+	if flowIdx >= len(c.rxFlow) {
+		flowIdx = 0
+	}
+	rf := c.rxFlow[flowIdx]
+	now := c.sim.Now()
+
+	diff := int64(p.PSN) - int64(rs.base)
+	switch {
+	case diff < 0 || (diff < wire.BitmapBits && rs.bitmap.Get(int(diff))):
+		// Duplicate (e.g. a retransmission racing a lost ACK). ACK
+		// promptly so the sender converges.
+		c.Stats.Duplicates++
+		rf.t1, rf.t2, rf.valid = p.T1, int64(now), true
+		c.sendAck(flowIdx)
+		return
+	case diff >= wire.BitmapBits:
+		// Outside the representable window. A compliant sender's
+		// sequence window prevents this; drop and count.
+		c.Stats.RxWindowDrops++
+		return
+	}
+
+	verdict := c.cb.Deliver(p)
+	switch verdict.Kind {
+	case DeliverNoResources:
+		// Not recorded as received: the sender must retransmit once
+		// resources free up.
+		c.sendNack(p, wire.NackResourceExhausted, 0)
+		return
+	case DeliverRNR:
+		// Received at the PDL level; the transaction retry is handled
+		// end-to-end by the TLs.
+		rs.bitmap.Set(int(diff))
+		c.sendNack(p, wire.NackRNR, verdict.RetryDelay)
+	case DeliverCIE:
+		rs.bitmap.Set(int(diff))
+		c.sendNack(p, wire.NackCIE, 0)
+	default: // DeliverAccept
+		rs.bitmap.Set(int(diff))
+		c.Stats.DeliveredToTL++
+	}
+
+	// Advance the cumulative base over the leading received run.
+	if run := rs.bitmap.LeadingRun(); run > 0 && diff < int64(run) {
+		rs.bitmap.ShiftRight(run)
+		rs.base += uint32(run)
+	}
+
+	// Per-flow congestion metadata and ACK coalescing.
+	rf.t1, rf.t2, rf.valid = p.T1, int64(now), true
+	if p.Flags&wire.FlagCE != 0 {
+		rf.ceSeen = true
+	}
+	rf.pending++
+	if p.Flags&wire.FlagAckReq != 0 || rf.pending >= c.cfg.AckCoalesceCount {
+		c.sendAck(flowIdx)
+	} else if !rf.ackTimer.Pending() {
+		rf.ackTimer = c.sim.After(c.cfg.AckCoalesceDelay, func() { c.sendAck(flowIdx) })
+	}
+}
+
+// sendAck emits an ACK carrying the RX window bitmaps of both spaces plus
+// the congestion metadata of the given flow.
+func (c *Conn) sendAck(flowIdx int) {
+	rf := c.rxFlow[flowIdx]
+	rf.pending = 0
+	rf.ackTimer.Stop()
+	now := c.sim.Now()
+	ack := &wire.Packet{
+		Type:         wire.TypeAck,
+		ConnID:       c.id,
+		FlowLabel:    c.flows[flowIdx%len(c.flows)].label,
+		AckFlowIndex: uint8(flowIdx),
+		T3:           int64(now),
+		Req:          wire.AckInfo{Base: c.rx[wire.SpaceRequest].base, Bitmap: c.rx[wire.SpaceRequest].bitmap},
+		Resp:         wire.AckInfo{Base: c.rx[wire.SpaceResponse].base, Bitmap: c.rx[wire.SpaceResponse].bitmap},
+	}
+	if rf.valid {
+		ack.T1Echo, ack.T2 = rf.t1, rf.t2
+	}
+	if rf.ceSeen {
+		ack.Flags |= wire.FlagECE
+		rf.ceSeen = false
+	}
+	if c.cb.RxBufOccupancy != nil {
+		ack.RxBufOccupancy = uint16(clamp01(c.cb.RxBufOccupancy()) * 65535)
+	}
+	if c.cb.CompletedRSN != nil {
+		ack.CompletedRSN = c.cb.CompletedRSN()
+	}
+	c.Stats.AcksSent++
+	c.cb.Send(ack)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// SendExceptionNack lets the transaction layer raise an RNR or CIE NACK
+// for a request it had already accepted (ordered connections process
+// requests after reordering, so the ULP verdict can arrive later than the
+// Deliver call).
+func (c *Conn) SendExceptionNack(space wire.Space, psn uint32, rsn uint64, code wire.NackCode, retry time.Duration) {
+	c.sendNack(&wire.Packet{PSN: psn, Space: space, RSN: rsn}, code, retry)
+}
+
+// sendNack emits an exception NACK for a specific packet.
+func (c *Conn) sendNack(p *wire.Packet, code wire.NackCode, retry time.Duration) {
+	n := &wire.Packet{
+		Type:         wire.TypeNack,
+		NackCode:     code,
+		ConnID:       c.id,
+		FlowLabel:    c.flows[0].label,
+		PSN:          p.PSN,
+		Space:        p.Space,
+		RSN:          p.RSN,
+		RetryDelayNs: uint32(retry.Nanoseconds()),
+		Req:          wire.AckInfo{Base: c.rx[wire.SpaceRequest].base, Bitmap: c.rx[wire.SpaceRequest].bitmap},
+		Resp:         wire.AckInfo{Base: c.rx[wire.SpaceResponse].base, Bitmap: c.rx[wire.SpaceResponse].bitmap},
+	}
+	c.Stats.NacksSent++
+	c.cb.Send(n)
+}
+
+// handleAck runs the sender pipeline for an arriving ACK: SACK processing
+// per space, per-flow accounting, delay measurement, FAE eventing, loss
+// recovery and send-window reopening.
+func (c *Conn) handleAck(p *wire.Packet) {
+	c.Stats.AcksReceived++
+	now := c.sim.Now()
+
+	newlyAckedPerFlow := make([]int, len(c.flows))
+	progress := false
+	for _, sp := range []struct {
+		ts   *txSpace
+		info wire.AckInfo
+	}{
+		{c.tx[wire.SpaceRequest], p.Req},
+		{c.tx[wire.SpaceResponse], p.Resp},
+	} {
+		if c.processAckInfo(sp.ts, sp.info, newlyAckedPerFlow) {
+			progress = true
+		}
+	}
+
+	// Ordered-completion horizon from the target's TL.
+	if p.CompletedRSN > 0 && c.cb.Completed != nil {
+		c.cb.Completed(p.CompletedRSN)
+	}
+
+	if progress {
+		c.resetTimersOnProgress()
+	}
+
+	// Delay measurement: (t4-t1)-(t3-t2) needs no clock sync (§4.2).
+	ackFlow := int(p.AckFlowIndex)
+	if ackFlow >= len(c.flows) {
+		ackFlow = 0
+	}
+	if p.T1Echo > 0 && c.cb.PostEvent != nil {
+		rtt := now.Sub(sim.Time(p.T1Echo))
+		fabric := rtt - time.Duration(p.T3-p.T2)
+		if fabric < 0 {
+			fabric = 0
+		}
+		if rtt > 0 {
+			if c.srttHint == 0 {
+				c.srttHint = rtt
+			} else {
+				c.srttHint = (7*c.srttHint + rtt) / 8
+			}
+		}
+		acked := newlyAckedPerFlow[ackFlow]
+		c.cb.PostEvent(fae.Event{
+			Kind:           fae.EventAck,
+			Conn:           c.id,
+			Flow:           ackFlow,
+			Now:            now,
+			FabricDelay:    fabric,
+			RTT:            rtt,
+			AckedPackets:   acked,
+			Hops:           c.hops,
+			RxBufOccupancy: float64(p.RxBufOccupancy) / 65535,
+			ECE:            p.Flags&wire.FlagECE != 0,
+		})
+	}
+
+	// Loss recovery over the updated SACK scoreboard.
+	c.runRecovery(now)
+	c.trySend()
+}
+
+// processAckInfo folds one space's ACK info into the TX scoreboard. It
+// reports whether any packet was newly acknowledged.
+func (c *Conn) processAckInfo(ts *txSpace, info wire.AckInfo, perFlow []int) bool {
+	progress := false
+	// Cumulative portion.
+	if int64(info.Base) > int64(ts.base) {
+		for psn := ts.base; psn != info.Base && psn != ts.next; psn++ {
+			if c.markAcked(ts, psn, perFlow) {
+				progress = true
+			}
+		}
+		if int64(info.Base) <= int64(ts.next) {
+			ts.base = info.Base
+		} else {
+			ts.base = ts.next
+		}
+	}
+	// Selective portion.
+	for i := 0; i < wire.BitmapBits; i++ {
+		if !info.Bitmap.Get(i) {
+			continue
+		}
+		psn := info.Base + uint32(i)
+		if int64(psn) < int64(ts.base) || int64(psn) >= int64(ts.next) {
+			continue
+		}
+		if c.markAcked(ts, psn, perFlow) {
+			progress = true
+		}
+	}
+	// Slide base over acked leading packets (SACKed contiguously).
+	for ts.base != ts.next {
+		tp := ts.slot(ts.base)
+		if tp == nil || !tp.acked {
+			break
+		}
+		ts.base++
+	}
+	return progress
+}
+
+// markAcked marks one PSN acknowledged, returning true if it was newly
+// acked.
+func (c *Conn) markAcked(ts *txSpace, psn uint32, perFlow []int) bool {
+	tp := ts.slot(psn)
+	if tp == nil || tp.acked || tp.pkt.PSN != psn {
+		return false
+	}
+	tp.acked = true
+	ts.outstanding--
+	f := c.flows[tp.flow]
+	f.outstanding--
+	perFlow[tp.flow]++
+	// Spurious-retransmission detection: an ACK landing well under an
+	// RTT after our retransmission must cover the original transmission,
+	// so the reordering window was too small — widen it (RACK reo-window
+	// adaptation).
+	if tp.retx > 0 && c.srttHint > 0 &&
+		c.sim.Now().Sub(tp.txTime) < 3*c.srttHint/4 && c.reoWndMult < 16 {
+		c.reoWndMult *= 2
+	}
+	// Per-flow RACK: remember the most recent transmission time that is
+	// known delivered on this flow.
+	if tp.txTime > f.rackXmit {
+		f.rackXmit = tp.txTime
+	}
+	if c.cb.PacketAcked != nil {
+		c.cb.PacketAcked(ts.space, psn, tp.pkt.RSN, tp.pkt.Type)
+	}
+	return true
+}
+
+// handleNack processes an exception NACK at the sender.
+func (c *Conn) handleNack(p *wire.Packet) {
+	c.Stats.NacksReceived++
+	ts := c.tx[p.Space]
+	tp := ts.slot(p.PSN)
+	known := tp != nil && !tp.acked && tp.pkt.PSN == p.PSN
+
+	switch p.NackCode {
+	case wire.NackResourceExhausted:
+		if !known {
+			return
+		}
+		// Back off, then retransmit; also tell the FAE the peer NIC
+		// is resource-pressured.
+		if c.cb.PostEvent != nil {
+			c.cb.PostEvent(fae.Event{
+				Kind: fae.EventNack, Conn: c.id, Flow: tp.flow, Now: c.sim.Now(),
+			})
+		}
+		if !tp.nacked {
+			tp.nacked = true
+			backoff := c.rto / 4
+			c.sim.After(backoff, func() {
+				if !tp.acked {
+					c.retransmit(tp, false)
+				}
+			})
+		}
+	case wire.NackRNR, wire.NackCIE:
+		// PDL-level delivery is done: free the packet context. The
+		// transaction-level consequence (retry or complete-in-error)
+		// belongs to the TL.
+		if known {
+			perFlow := make([]int, len(c.flows))
+			c.markAcked(ts, p.PSN, perFlow)
+			for ts.base != ts.next {
+				sl := ts.slot(ts.base)
+				if sl == nil || !sl.acked {
+					break
+				}
+				ts.base++
+			}
+			c.resetTimersOnProgress()
+		}
+		if c.cb.NackReceived != nil {
+			c.cb.NackReceived(p)
+		}
+		c.trySend()
+	}
+}

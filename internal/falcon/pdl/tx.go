@@ -1,0 +1,250 @@
+package pdl
+
+import (
+	"fmt"
+	"time"
+
+	"falcon/internal/falcon/wire"
+)
+
+// SendPacket accepts a data packet from the transaction layer and queues it
+// for transmission. The TL fills Type, RSN and Length; the PDL assigns the
+// PSN, sequence space, flow and timestamps. SendPacket never blocks: the TL
+// has already passed resource admission, so the PDL queue is bounded by the
+// TL's resource pools.
+func (c *Conn) SendPacket(p *wire.Packet) {
+	if !p.Type.IsData() {
+		panic(fmt.Sprintf("pdl: SendPacket on non-data packet %v", p.Type))
+	}
+	if c.failed {
+		return // the TL has already been told to error everything
+	}
+	p.ConnID = c.id
+	p.Space = wire.SpaceOf(p.Type)
+	if p.Space == wire.SpaceResponse {
+		c.respQ = append(c.respQ, p)
+	} else {
+		c.reqQ = append(c.reqQ, p)
+	}
+	c.trySend()
+}
+
+// trySend drains the scheduler queues while congestion and sequence windows
+// allow. Responses are scheduled before requests: their resources were
+// reserved at the requester, so they can always make forward progress and
+// draining them releases resources fastest (§4.5).
+func (c *Conn) trySend() {
+	for {
+		sent := false
+		if len(c.respQ) > 0 && c.canSendData(wire.SpaceResponse) {
+			if c.transmitNext(&c.respQ, c.tx[wire.SpaceResponse]) {
+				sent = true
+			}
+		} else if len(c.reqQ) > 0 && c.canSendData(wire.SpaceRequest) {
+			if c.transmitNext(&c.reqQ, c.tx[wire.SpaceRequest]) {
+				sent = true
+			}
+		}
+		if !sent {
+			break
+		}
+	}
+	c.maybePace()
+}
+
+// canSendData checks the connection-level windows for a packet in the given
+// space: requests are gated by min(fcwnd, ncwnd), responses by fcwnd only
+// (§4.4: the requester reserved RX resources for responses, so ncwnd does
+// not apply).
+func (c *Conn) canSendData(space wire.Space) bool {
+	ts := c.tx[space]
+	// Sequence window: never outrun the receiver's bitmap.
+	if int(ts.next-ts.base) >= c.cfg.WindowSize {
+		return false
+	}
+	limit := c.connFcwnd()
+	if space == wire.SpaceRequest && c.ncwnd < limit {
+		limit = c.ncwnd
+	}
+	out := float64(c.totalOutstanding())
+	if limit >= 1 {
+		return out < limit
+	}
+	// Fractional window: at most one outstanding packet, released at the
+	// paced instant.
+	return out == 0 && c.sim.Now() >= c.nextPaced
+}
+
+// pickFlow returns the flow to carry the next packet.
+func (c *Conn) pickFlow() int {
+	if len(c.flows) == 1 {
+		return 0
+	}
+	if c.cfg.Policy == PolicyRoundRobin {
+		i := c.rrNext % len(c.flows)
+		c.rrNext++
+		return i
+	}
+	// Congestion-aware: the flow with the largest open window
+	// fcwnd - outstanding (§4.3).
+	best, bestOpen := 0, -1e18
+	for i, f := range c.flows {
+		open := f.fcwnd - float64(f.outstanding)
+		if open > bestOpen {
+			best, bestOpen = i, open
+		}
+	}
+	return best
+}
+
+func (c *Conn) transmitNext(q *[]*wire.Packet, ts *txSpace) bool {
+	p := (*q)[0]
+	*q = (*q)[1:]
+	flow := c.pickFlow()
+	psn := ts.next
+	ts.next++
+
+	tp := &txPacket{pkt: p, flow: flow}
+	ts.setSlot(psn, tp)
+	ts.outstanding++
+	c.flows[flow].outstanding++
+
+	p.PSN = psn
+	// Fractional windows pace: the next packet may go one inter-packet
+	// gap (srtt/cwnd) later.
+	if wnd := c.EffectiveWindow(); wnd < 1 {
+		c.nextPaced = c.sim.Now().Add(c.pacingGap(wnd))
+	}
+	c.stampAndSend(tp, false, false)
+	return true
+}
+
+// pacingGap returns the inter-packet gap srtt/cwnd for a fractional
+// window, clamped to the RTO backoff cap.
+func (c *Conn) pacingGap(wnd float64) time.Duration {
+	base := c.srttHint
+	if base == 0 {
+		base = c.tlpTimeout
+	}
+	gap := time.Duration(float64(base) / maxf(wnd, 0.001))
+	if gap > c.cfg.MaxRTOBackoff {
+		gap = c.cfg.MaxRTOBackoff
+	}
+	return gap
+}
+
+// stampAndSend (re)transmits a tracked packet: assigns the flow's current
+// label, sets T1 and the AR bit, and hands the packet to the NIC.
+func (c *Conn) stampAndSend(tp *txPacket, retransmit, tlp bool) {
+	p := tp.pkt
+	f := c.flows[tp.flow]
+	now := c.sim.Now()
+	tp.txTime = now
+	if tp.origTx == 0 {
+		tp.origTx = now
+	}
+	p.FlowLabel = f.label
+	p.T1 = int64(now)
+	p.Flags &^= wire.FlagRetransmit | wire.FlagTLP | wire.FlagAckReq
+	f.sent++
+	if retransmit {
+		p.Flags |= wire.FlagRetransmit
+		c.Stats.DataRetransmits++
+	} else {
+		c.Stats.DataSent++
+	}
+	if tlp {
+		p.Flags |= wire.FlagTLP
+	}
+	// AR cadence: retransmissions, probes, every ARInterval-th packet of
+	// a flow, and queue-draining packets ask for an immediate ACK.
+	if retransmit || tlp ||
+		(c.cfg.ARInterval > 0 && f.sent%uint64(c.cfg.ARInterval) == 0) ||
+		len(c.reqQ)+len(c.respQ) == 0 {
+		p.Flags |= wire.FlagAckReq
+	}
+	c.cb.Send(p)
+	c.armTimers()
+}
+
+// maybePace arms a wakeup at the paced release instant when a fractional
+// window blocked transmission (ACK clocking cannot resume an idle
+// connection).
+func (c *Conn) maybePace() {
+	if len(c.reqQ)+len(c.respQ) == 0 {
+		return
+	}
+	if c.totalOutstanding() > 0 {
+		return // ACK clocking will resume transmission
+	}
+	if c.EffectiveWindow() >= 1 {
+		return
+	}
+	if c.paceTimer.Pending() {
+		return
+	}
+	at := c.nextPaced
+	if at <= c.sim.Now() {
+		at = c.sim.Now().Add(c.pacingGap(c.EffectiveWindow()))
+	}
+	c.paceTimer = c.sim.At(at, func() { c.trySend() })
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// armTimers ensures RTO and TLP timers are pending while data is
+// outstanding.
+func (c *Conn) armTimers() {
+	if c.totalOutstanding() == 0 {
+		c.rtoTimer.Stop()
+		c.tlpTimer.Stop()
+		return
+	}
+	if !c.rtoTimer.Pending() {
+		d := c.rto << uint(c.rtoBackoff)
+		if d > c.cfg.MaxRTOBackoff {
+			d = c.cfg.MaxRTOBackoff
+		}
+		c.rtoTimer = c.sim.After(d, c.onRTO)
+	}
+	if c.cfg.Recovery == RecoveryRackTLP && !c.tlpTimer.Pending() {
+		c.tlpTimer = c.sim.After(c.tlpTimeout, c.onTLP)
+	}
+}
+
+// resetTimersOnProgress is called when an ACK acknowledges new data.
+func (c *Conn) resetTimersOnProgress() {
+	c.rtoBackoff = 0
+	c.consecRTOs = 0
+	c.rtoTimer.Stop()
+	c.tlpTimer.Stop()
+	c.lastAckProgress = c.sim.Now()
+	c.armTimers()
+}
+
+// lowestUnacked returns the oldest unacked tracked packet in the space, or
+// nil.
+func (ts *txSpace) lowestUnacked() *txPacket {
+	for psn := ts.base; psn != ts.next; psn++ {
+		tp := ts.slot(psn)
+		if tp != nil && !tp.acked {
+			return tp
+		}
+	}
+	return nil
+}
+
+// retransmit re-sends a tracked packet, counting and flagging it.
+func (c *Conn) retransmit(tp *txPacket, tlp bool) {
+	if tp == nil || tp.acked {
+		return
+	}
+	tp.retx++
+	tp.nacked = false
+	c.stampAndSend(tp, true, tlp)
+}

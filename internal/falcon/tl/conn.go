@@ -1,0 +1,387 @@
+package tl
+
+import (
+	"errors"
+	"time"
+
+	"falcon/internal/falcon/pdl"
+	"falcon/internal/falcon/wire"
+	"falcon/internal/sim"
+)
+
+// ErrBackpressured reports that the connection is Xoff'd: its resource
+// usage exceeds the (dynamic-threshold) share it is allowed (§4.6). The ULP
+// should retry when notified via the Xon callback.
+var ErrBackpressured = errors.New("tl: connection backpressured (xoff)")
+
+// ErrCIE reports a transaction completed-in-error by the target ULP (§4.4).
+var ErrCIE = errors.New("tl: transaction completed in error (CIE)")
+
+// ErrConnDead reports operations on (or pending in) a connection whose
+// packet-delivery layer declared a terminal failure.
+var ErrConnDead = errors.New("tl: connection failed")
+
+// BackpressureMode selects the isolation policy of Figure 24.
+type BackpressureMode int
+
+const (
+	// BackpressureNone disables per-connection thresholds: connections
+	// compete for pools unchecked.
+	BackpressureNone BackpressureMode = iota
+	// BackpressureStatic uses a fixed α for every connection.
+	BackpressureStatic
+	// BackpressureDynamic scales α by the FAE's congestion-aware β_c.
+	BackpressureDynamic
+)
+
+func (m BackpressureMode) String() string {
+	switch m {
+	case BackpressureStatic:
+		return "static"
+	case BackpressureDynamic:
+		return "dynamic"
+	}
+	return "none"
+}
+
+// TargetVerdictKind is the target ULP's decision about a delivered request.
+type TargetVerdictKind int
+
+const (
+	// TargetOK: request processed successfully.
+	TargetOK TargetVerdictKind = iota
+	// TargetRNR: receiver not ready; retry after RetryDelay.
+	TargetRNR
+	// TargetError: request failed; complete in error and continue (CIE).
+	TargetError
+	// TargetAsync (pulls only): the ULP will produce the response later
+	// via CompletePull — e.g. an NVMe read waiting on the device. The
+	// transaction still completes in RSN order at delivery.
+	TargetAsync
+)
+
+// TargetVerdict is returned by TargetHandler methods.
+type TargetVerdict struct {
+	Kind       TargetVerdictKind
+	RetryDelay time.Duration
+}
+
+// TargetHandler is the ULP-side interface invoked at the target NIC. On
+// ordered connections, handlers run in RSN order.
+type TargetHandler interface {
+	// HandlePush processes arriving push data (e.g. executes an RDMA
+	// Write to host memory).
+	HandlePush(rsn uint64, p *wire.Packet) TargetVerdict
+	// HandlePull produces the response for a pull request (e.g. an RDMA
+	// Read of p.PullLength bytes). data may be nil in simulation mode.
+	HandlePull(rsn uint64, p *wire.Packet) (data []byte, length uint32, v TargetVerdict)
+}
+
+// Control is the downward interface to the PDL. *pdl.Conn satisfies it.
+type Control interface {
+	SendPacket(p *wire.Packet)
+	SendExceptionNack(space wire.Space, psn uint32, rsn uint64, code wire.NackCode, retry time.Duration)
+}
+
+var _ Control = (*pdl.Conn)(nil)
+
+// Config parameterizes a TL connection.
+type Config struct {
+	// Ordered selects IB Verbs ordering: in-order delivery to the target
+	// ULP and in-order completions at the initiator. Unordered delivers
+	// and completes as packets arrive (§4.4).
+	Ordered bool
+	// MTU bounds a single transaction's payload (§4.4: transactions are
+	// at most one MTU; ULPs segment larger ops).
+	MTU int
+	// Backpressure selects the isolation policy.
+	Backpressure BackpressureMode
+	// StaticAlpha is the DT α for BackpressureStatic.
+	StaticAlpha float64
+}
+
+// DefaultConfig returns an ordered connection with 4KB MTU and dynamic
+// backpressure.
+func DefaultConfig() Config {
+	return Config{Ordered: true, MTU: 4096, Backpressure: BackpressureDynamic, StaticAlpha: 2}
+}
+
+type txnKind int
+
+const (
+	txnPush txnKind = iota
+	txnPull
+)
+
+// txn is one initiator-side transaction (at most one MTU, so exactly one
+// request packet and at most one response packet).
+type txn struct {
+	kind     txnKind
+	rsn      uint64
+	length   uint32 // push payload length / pull solicited length
+	ulpOp    uint8
+	addr     uint64
+	data     []byte
+	done     func(data []byte, err error)
+	pktAcked bool
+	finished bool // target outcome known (completion/pull-data/CIE)
+	released bool
+	err      error
+	respData []byte
+}
+
+// pendingReq is a target-side request awaiting in-order delivery.
+type pendingReq struct {
+	pkt   *wire.Packet
+	bytes int
+}
+
+// Stats counts TL activity on one connection.
+type Stats struct {
+	Pushes         uint64
+	Pulls          uint64
+	CompletedOK    uint64
+	CompletedError uint64
+	RNRRetries     uint64
+	Backpressured  uint64
+	RequestsServed uint64
+}
+
+// Conn is one Falcon connection's transaction layer.
+type Conn struct {
+	sim    *sim.Simulator
+	cfg    Config
+	id     uint32
+	res    *Resources
+	ctrl   Control
+	target TargetHandler
+
+	alpha float64 // α_c from the FAE (dynamic backpressure)
+
+	// Initiator state.
+	nextRSN     uint64
+	txns        map[uint64]*txn
+	releaseRSN  uint64 // next RSN to release to the ULP (ordered)
+	xonCallback func()
+	wasXoff     bool
+
+	// Target state.
+	expectedRSN  uint64
+	reorderBuf   map[uint64]*pendingReq
+	completedRSN uint64
+
+	// Deferred pull responses awaiting TxResp resources.
+	pendingResponses []*wire.Packet
+	// sentRespBytes records TxResp byte reservations per RSN so acks
+	// release the exact amount.
+	sentRespBytes map[uint64]int
+	// reqReservations records TxReq byte reservations per RSN. Releases
+	// are driven by packet ACKs, which can arrive after the transaction
+	// itself has completed (the completion horizon can outrun
+	// per-packet ACKs), so this map outlives the txns entry.
+	reqReservations map[uint64]int
+
+	// dead is non-nil once the PDL declared the connection failed.
+	dead error
+
+	Stats Stats
+}
+
+// NewConn creates a TL connection bound to shared resources and a PDL
+// control. target may be nil for a pure-initiator endpoint.
+func NewConn(s *sim.Simulator, id uint32, cfg Config, res *Resources, ctrl Control, target TargetHandler) *Conn {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 4096
+	}
+	if cfg.StaticAlpha <= 0 {
+		cfg.StaticAlpha = 2
+	}
+	c := &Conn{
+		sim:             s,
+		cfg:             cfg,
+		id:              id,
+		res:             res,
+		ctrl:            ctrl,
+		target:          target,
+		alpha:           cfg.StaticAlpha,
+		txns:            make(map[uint64]*txn),
+		reorderBuf:      make(map[uint64]*pendingReq),
+		sentRespBytes:   make(map[uint64]int),
+		reqReservations: make(map[uint64]int),
+	}
+	res.Subscribe(c.onResourcesFreed)
+	return c
+}
+
+// ID returns the connection ID.
+func (c *Conn) ID() uint32 { return c.id }
+
+// SetTarget installs the target-side ULP handler (it may be attached after
+// construction, before traffic arrives).
+func (c *Conn) SetTarget(h TargetHandler) { c.target = h }
+
+// Alpha returns the connection's current DT α_c (diagnostics).
+func (c *Conn) Alpha() float64 { return c.effAlpha() }
+
+// SetAlpha installs the FAE-computed α_c (BackpressureDynamic).
+func (c *Conn) SetAlpha(a float64) {
+	if a > 0 {
+		c.alpha = a
+	}
+}
+
+// SetXonCallback registers the ULP's resume hook, invoked when a
+// backpressured connection regains resource headroom.
+func (c *Conn) SetXonCallback(fn func()) { c.xonCallback = fn }
+
+// CompletedRSN is sampled by the PDL when building ACKs: the cumulative
+// in-order completion horizon at this target (zero for unordered).
+func (c *Conn) CompletedRSN() uint64 {
+	if !c.cfg.Ordered {
+		return 0
+	}
+	return c.completedRSN
+}
+
+// RxOccupancy is forwarded to the PDL's ACK builder.
+func (c *Conn) RxOccupancy() float64 { return c.res.RxOccupancy() }
+
+// effAlpha returns the connection's DT α under the configured policy.
+func (c *Conn) effAlpha() float64 {
+	if c.cfg.Backpressure == BackpressureStatic {
+		return c.cfg.StaticAlpha
+	}
+	return c.alpha
+}
+
+// xoffed applies the DT rule T_c = α_c·Free per pool, on contexts and
+// buffer bytes (§4.6). A connection exceeding its share of any pool is
+// backpressured.
+func (c *Conn) xoffed() bool {
+	if c.cfg.Backpressure == BackpressureNone {
+		return false
+	}
+	return c.res.OverDTThreshold(c.id, c.effAlpha())
+}
+
+// Push initiates a push transaction of length bytes (≤ MTU). done fires at
+// completion; its data argument is always nil for pushes. Returns the RSN.
+func (c *Conn) Push(data []byte, length uint32, done func(data []byte, err error)) (uint64, error) {
+	return c.PushOp(0, 0, data, length, done)
+}
+
+// PushOp is Push with ULP metadata: op identifies the ULP operation and
+// addr the remote address it targets (carried opaquely by Falcon).
+func (c *Conn) PushOp(op uint8, addr uint64, data []byte, length uint32, done func(data []byte, err error)) (uint64, error) {
+	if c.dead != nil {
+		return 0, c.dead
+	}
+	if int(length) > c.cfg.MTU {
+		return 0, errors.New("tl: push exceeds MTU; ULP must segment")
+	}
+	if c.xoffed() {
+		c.Stats.Backpressured++
+		c.wasXoff = true
+		return 0, ErrBackpressured
+	}
+	// Reserve the request's TX resources and the completion's RX slot up
+	// front (§4.5: responses must always be able to land).
+	if err := c.res.Reserve(PoolTxReq, c.id, int(length)); err != nil {
+		c.Stats.Backpressured++
+		c.wasXoff = true
+		return 0, err
+	}
+	if err := c.res.Reserve(PoolRxResp, c.id, 0); err != nil {
+		c.res.Release(PoolTxReq, c.id, int(length))
+		c.Stats.Backpressured++
+		c.wasXoff = true
+		return 0, err
+	}
+	rsn := c.nextRSN
+	c.nextRSN++
+	t := &txn{kind: txnPush, rsn: rsn, length: length, ulpOp: op, addr: addr, data: data, done: done}
+	c.txns[rsn] = t
+	c.Stats.Pushes++
+	c.sendRequest(t)
+	return rsn, nil
+}
+
+// Pull initiates a pull transaction soliciting length bytes (≤ MTU). done
+// receives the pulled data.
+func (c *Conn) Pull(length uint32, done func(data []byte, err error)) (uint64, error) {
+	return c.PullOp(0, 0, length, done)
+}
+
+// PullOp is Pull with ULP metadata (op code and remote address).
+func (c *Conn) PullOp(op uint8, addr uint64, length uint32, done func(data []byte, err error)) (uint64, error) {
+	return c.PullOpData(op, addr, nil, length, done)
+}
+
+// PullOpData is PullOp with request payload bytes (e.g. atomic operands):
+// the request carries reqData on the wire while soliciting respLen bytes
+// back.
+func (c *Conn) PullOpData(op uint8, addr uint64, reqData []byte, respLen uint32, done func(data []byte, err error)) (uint64, error) {
+	if c.dead != nil {
+		return 0, c.dead
+	}
+	length := respLen
+	if int(length) > c.cfg.MTU {
+		return 0, errors.New("tl: pull exceeds MTU; ULP must segment")
+	}
+	if c.xoffed() {
+		c.Stats.Backpressured++
+		c.wasXoff = true
+		return 0, ErrBackpressured
+	}
+	if err := c.res.Reserve(PoolTxReq, c.id, len(reqData)); err != nil {
+		c.Stats.Backpressured++
+		c.wasXoff = true
+		return 0, err
+	}
+	if err := c.res.Reserve(PoolRxResp, c.id, int(length)); err != nil {
+		c.res.Release(PoolTxReq, c.id, len(reqData))
+		c.Stats.Backpressured++
+		c.wasXoff = true
+		return 0, err
+	}
+	rsn := c.nextRSN
+	c.nextRSN++
+	t := &txn{kind: txnPull, rsn: rsn, length: length, ulpOp: op, addr: addr, data: reqData, done: done}
+	c.txns[rsn] = t
+	c.Stats.Pulls++
+	c.sendRequest(t)
+	return rsn, nil
+}
+
+func (c *Conn) sendRequest(t *txn) {
+	p := &wire.Packet{RSN: t.rsn, UlpOp: t.ulpOp, Addr: t.addr}
+	if c.cfg.Ordered {
+		p.Flags |= wire.FlagOrdered
+	}
+	switch t.kind {
+	case txnPush:
+		p.Type = wire.TypePushData
+		p.Length = t.length
+		p.Data = t.data
+		c.reqReservations[t.rsn] = int(t.length)
+	case txnPull:
+		p.Type = wire.TypePullRequest
+		p.PullLength = t.length
+		p.Data = t.data
+		p.Length = uint32(len(t.data))
+		c.reqReservations[t.rsn] = len(t.data)
+	}
+	c.ctrl.SendPacket(p)
+}
+
+// onResourcesFreed drains deferred responses and signals Xon to the ULP.
+func (c *Conn) onResourcesFreed() {
+	if c.dead != nil {
+		return
+	}
+	c.drainPendingResponses()
+	if c.wasXoff && !c.xoffed() && c.xonCallback != nil {
+		c.wasXoff = false
+		c.xonCallback()
+	}
+}

@@ -1,0 +1,346 @@
+package tl
+
+import (
+	"time"
+
+	"falcon/internal/falcon/pdl"
+	"falcon/internal/falcon/wire"
+)
+
+// Deliver is the PDL's upcall for arriving data packets. The TL performs
+// resource admission here; ULP processing happens in RSN order (ordered
+// connections) via the reorder buffer.
+func (c *Conn) Deliver(p *wire.Packet) pdl.DeliverVerdict {
+	if p.Space == wire.SpaceResponse {
+		c.deliverResponse(p)
+		return pdl.DeliverVerdict{Kind: pdl.DeliverAccept}
+	}
+	return c.deliverRequest(p)
+}
+
+// deliverRequest is the target-side request path: admission, ordering,
+// ULP handling.
+func (c *Conn) deliverRequest(p *wire.Packet) pdl.DeliverVerdict {
+	// Stale or duplicate RSNs (e.g. an RNR retry racing a completion)
+	// are accepted idempotently: the completion horizon informs the
+	// initiator.
+	if p.RSN < c.expectedRSN && c.cfg.Ordered {
+		return pdl.DeliverVerdict{Kind: pdl.DeliverAccept}
+	}
+	if _, dup := c.reorderBuf[p.RSN]; dup {
+		return pdl.DeliverVerdict{Kind: pdl.DeliverAccept}
+	}
+
+	bytes := int(p.Length)
+	hol := !c.cfg.Ordered || p.RSN == c.expectedRSN
+	if err := c.res.AdmitRxRequest(c.id, bytes, hol); err != nil {
+		return pdl.DeliverVerdict{Kind: pdl.DeliverNoResources}
+	}
+
+	c.reorderBuf[p.RSN] = &pendingReq{pkt: p, bytes: bytes}
+	if c.cfg.Ordered {
+		c.drainTargetOrdered()
+	} else {
+		c.processRequest(p.RSN)
+	}
+	return pdl.DeliverVerdict{Kind: pdl.DeliverAccept}
+}
+
+// drainTargetOrdered processes buffered requests in RSN order until a gap
+// (or an RNR pause) stops it.
+func (c *Conn) drainTargetOrdered() {
+	for {
+		if _, ok := c.reorderBuf[c.expectedRSN]; !ok {
+			return
+		}
+		rsn := c.expectedRSN
+		if !c.processRequest(rsn) {
+			return // RNR: expectedRSN unchanged, retry will resume
+		}
+	}
+}
+
+// processRequest runs the ULP handler for a buffered request. It returns
+// false when the request hit RNR and must be retried by the initiator.
+func (c *Conn) processRequest(rsn uint64) bool {
+	req := c.reorderBuf[rsn]
+	p := req.pkt
+	delete(c.reorderBuf, rsn)
+	defer c.res.Release(PoolRxReq, c.id, req.bytes)
+
+	advance := func() {
+		if c.cfg.Ordered {
+			c.expectedRSN = rsn + 1
+			c.completedRSN = c.expectedRSN
+		}
+	}
+
+	if c.target == nil {
+		// No ULP attached: treat as a sink (pure delivery benchmark).
+		c.Stats.RequestsServed++
+		advance()
+		return true
+	}
+
+	switch p.Type {
+	case wire.TypePushData:
+		v := c.target.HandlePush(rsn, p)
+		switch v.Kind {
+		case TargetRNR:
+			c.ctrl.SendExceptionNack(p.Space, p.PSN, rsn, wire.NackRNR, v.RetryDelay)
+			return false
+		case TargetError:
+			c.ctrl.SendExceptionNack(p.Space, p.PSN, rsn, wire.NackCIE, 0)
+			advance()
+			return true
+		default:
+			c.Stats.RequestsServed++
+			advance()
+			return true
+		}
+	case wire.TypePullRequest:
+		data, length, v := c.target.HandlePull(rsn, p)
+		switch v.Kind {
+		case TargetRNR:
+			c.ctrl.SendExceptionNack(p.Space, p.PSN, rsn, wire.NackRNR, v.RetryDelay)
+			return false
+		case TargetError:
+			c.ctrl.SendExceptionNack(p.Space, p.PSN, rsn, wire.NackCIE, 0)
+			advance()
+			return true
+		case TargetAsync:
+			// Response produced later via CompletePull.
+			c.Stats.RequestsServed++
+			advance()
+			return true
+		default:
+			c.Stats.RequestsServed++
+			advance()
+			c.sendPullResponse(rsn, data, length)
+			return true
+		}
+	default:
+		advance()
+		return true
+	}
+}
+
+// sendPullResponse transmits (or defers, under TxResp pressure) the
+// response carrying the pulled data.
+func (c *Conn) sendPullResponse(rsn uint64, data []byte, length uint32) {
+	resp := &wire.Packet{
+		Type:   wire.TypePullResponse,
+		RSN:    rsn,
+		Length: length,
+		Data:   data,
+	}
+	if err := c.res.Reserve(PoolTxResp, c.id, int(length)); err != nil {
+		// Defer until resources free up; the initiator's RTO/TLP keeps
+		// the transaction alive meanwhile.
+		c.pendingResponses = append(c.pendingResponses, resp)
+		return
+	}
+	c.sentRespBytes[rsn] = int(length)
+	c.ctrl.SendPacket(resp)
+}
+
+func (c *Conn) drainPendingResponses() {
+	for len(c.pendingResponses) > 0 {
+		resp := c.pendingResponses[0]
+		if err := c.res.Reserve(PoolTxResp, c.id, int(resp.Length)); err != nil {
+			return
+		}
+		c.pendingResponses = c.pendingResponses[1:]
+		c.sentRespBytes[resp.RSN] = int(resp.Length)
+		c.ctrl.SendPacket(resp)
+	}
+}
+
+// CompletePull sends the deferred response for a pull the target handler
+// answered with TargetAsync.
+func (c *Conn) CompletePull(rsn uint64, data []byte, length uint32) {
+	c.sendPullResponse(rsn, data, length)
+}
+
+// deliverResponse is the initiator-side pull-response path.
+func (c *Conn) deliverResponse(p *wire.Packet) {
+	t, ok := c.txns[p.RSN]
+	if !ok || t.kind != txnPull || t.finished {
+		return // duplicate or stale
+	}
+	t.finished = true
+	t.respData = p.Data
+	c.tryRelease()
+}
+
+// PacketAcked is the PDL's upcall when a transmitted packet is
+// acknowledged: TX resources are released (§4.5) and unordered pushes
+// complete.
+func (c *Conn) PacketAcked(space wire.Space, psn uint32, rsn uint64, typ wire.Type) {
+	if space == wire.SpaceResponse {
+		// A pull response we sent as target was delivered.
+		if bytes, ok := c.sentRespBytes[rsn]; ok {
+			delete(c.sentRespBytes, rsn)
+			c.res.Release(PoolTxResp, c.id, bytes)
+		}
+		return
+	}
+	// Release the request's TX reservation regardless of transaction
+	// state: the completion horizon can finish a transaction before its
+	// per-packet ACK lands.
+	if bytes, ok := c.reqReservations[rsn]; ok {
+		delete(c.reqReservations, rsn)
+		c.res.Release(PoolTxReq, c.id, bytes)
+	}
+	t, ok := c.txns[rsn]
+	if !ok || t.pktAcked {
+		return
+	}
+	t.pktAcked = true
+	if t.kind == txnPush && !c.cfg.Ordered && !t.finished {
+		// Unordered push: responsibility transferred on ack.
+		t.finished = true
+	}
+	c.tryRelease()
+}
+
+// Completed is the PDL's upcall for the ACK-carried completion horizon:
+// all request RSNs below completedRSN are done at the target (ordered
+// connections, Figure 5).
+func (c *Conn) Completed(completedRSN uint64) {
+	if !c.cfg.Ordered {
+		return
+	}
+	for rsn, t := range c.txns {
+		if rsn < completedRSN && t.kind == txnPush && !t.finished {
+			t.finished = true
+		}
+	}
+	c.tryRelease()
+}
+
+// NackReceived is the PDL's upcall for RNR/CIE exception NACKs.
+func (c *Conn) NackReceived(p *wire.Packet) {
+	t, ok := c.txns[p.RSN]
+	if !ok || t.finished {
+		return
+	}
+	switch p.NackCode {
+	case wire.NackRNR:
+		// Transparent retry after the target-specified delay (§4.4).
+		c.Stats.RNRRetries++
+		c.sim.After(time.Duration(p.RetryDelayNs), func() { c.retryTransaction(t) })
+	case wire.NackCIE:
+		t.finished = true
+		t.err = ErrCIE
+		c.tryRelease()
+	}
+}
+
+// retryTransaction re-reserves TX resources and resends a transaction
+// (same RSN, fresh packet) after an RNR.
+func (c *Conn) retryTransaction(t *txn) {
+	if c.dead != nil || t.finished || t.released {
+		return
+	}
+	bytes := len(t.data)
+	if t.kind == txnPush {
+		bytes = int(t.length)
+	}
+	if err := c.res.Reserve(PoolTxReq, c.id, bytes); err != nil {
+		// Pool pressure: retry again shortly rather than dropping the
+		// transaction.
+		c.sim.After(50*time.Microsecond, func() { c.retryTransaction(t) })
+		return
+	}
+	t.pktAcked = false
+	c.sendRequest(t)
+}
+
+// Fail is the PDL's terminal-failure upcall: every pending transaction
+// completes with err, every held resource is returned, and subsequent
+// initiations are refused with ErrConnDead.
+func (c *Conn) Fail(err error) {
+	if c.dead != nil {
+		return
+	}
+	if err == nil {
+		err = ErrConnDead
+	}
+	c.dead = err
+	// Error all initiator-side transactions, bypassing ordered release.
+	rsns := make([]uint64, 0, len(c.txns))
+	for rsn := range c.txns {
+		rsns = append(rsns, rsn)
+	}
+	for _, rsn := range rsns {
+		t := c.txns[rsn]
+		if t == nil || t.released {
+			continue
+		}
+		t.finished = true
+		if t.err == nil {
+			t.err = err
+		}
+		c.release(t)
+	}
+	// Return TX reservations whose ACKs will never arrive.
+	for rsn, bytes := range c.reqReservations {
+		c.res.Release(PoolTxReq, c.id, bytes)
+		delete(c.reqReservations, rsn)
+	}
+	for rsn, bytes := range c.sentRespBytes {
+		c.res.Release(PoolTxResp, c.id, bytes)
+		delete(c.sentRespBytes, rsn)
+	}
+	// Drop target-side reorder buffers (their RxReq reservations).
+	for rsn, req := range c.reorderBuf {
+		c.res.Release(PoolRxReq, c.id, req.bytes)
+		delete(c.reorderBuf, rsn)
+	}
+	c.pendingResponses = nil
+}
+
+// Dead returns the terminal error, or nil while the connection is live.
+func (c *Conn) Dead() error { return c.dead }
+
+// tryRelease delivers finished transactions' completions to the ULP — in
+// RSN order on ordered connections, immediately otherwise.
+func (c *Conn) tryRelease() {
+	if c.cfg.Ordered {
+		for {
+			t, ok := c.txns[c.releaseRSN]
+			if !ok || !t.finished {
+				return
+			}
+			c.release(t)
+			c.releaseRSN++
+		}
+	}
+	for _, t := range c.txns {
+		if t.finished && !t.released {
+			c.release(t)
+		}
+	}
+}
+
+func (c *Conn) release(t *txn) {
+	if t.released {
+		return
+	}
+	t.released = true
+	respBytes := 0
+	if t.kind == txnPull {
+		respBytes = int(t.length)
+	}
+	c.res.Release(PoolRxResp, c.id, respBytes)
+	delete(c.txns, t.rsn)
+	if t.err != nil {
+		c.Stats.CompletedError++
+	} else {
+		c.Stats.CompletedOK++
+	}
+	if t.done != nil {
+		t.done(t.respData, t.err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package tl implements Falcon's Transaction Layer (§4.4–§4.6): the
+// request-response transaction interface offered to ULPs, on-NIC resource
+// admission with deadlock-free carving, RSN-based ordering, RNR/CIE error
+// semantics, and dynamic-threshold connection isolation.
+package tl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PoolKind identifies one of the four resource sub-pools of Figure 6. The
+// carving principles (§4.5): TX and RX are split so either direction can
+// always progress, and requests and responses are split so responses are
+// never starved by outstanding requests.
+type PoolKind int
+
+const (
+	// PoolTxReq holds contexts/buffers for requests this NIC transmits.
+	PoolTxReq PoolKind = iota
+	// PoolTxResp holds resources for responses this NIC transmits.
+	PoolTxResp
+	// PoolRxReq holds resources for requests arriving from the network.
+	PoolRxReq
+	// PoolRxResp holds resources for responses arriving from the
+	// network; reserved at request-initiation time so head-of-line
+	// responses always land (§4.5 "Resource Lifecycle").
+	PoolRxResp
+	numPools
+)
+
+func (k PoolKind) String() string {
+	switch k {
+	case PoolTxReq:
+		return "tx-req"
+	case PoolTxResp:
+		return "tx-resp"
+	case PoolRxReq:
+		return "rx-req"
+	case PoolRxResp:
+		return "rx-resp"
+	}
+	return fmt.Sprintf("PoolKind(%d)", int(k))
+}
+
+// PoolConfig sizes one sub-pool.
+type PoolConfig struct {
+	Contexts int // fixed-size per-packet metadata slots
+	Bytes    int // buffer bytes for payloads / SGLs
+}
+
+// ResourceConfig sizes all four sub-pools.
+type ResourceConfig struct {
+	Pools [numPools]PoolConfig
+	// HoLAdmissionThreshold is the RxReq occupancy fraction beyond which
+	// only head-of-line requests are admitted (§4.5).
+	HoLAdmissionThreshold float64
+}
+
+// DefaultResourceConfig sizes pools for a 200G NIC with ~50us RTTs. The RX
+// pools hold O(BDP) = 1.25MB of on-chip buffering (§5.2); the TX pools are
+// larger in bytes because transmit payloads stay in host memory (the pool
+// bounds scatter-gather state, not packet data).
+func DefaultResourceConfig() ResourceConfig {
+	tx := PoolConfig{Contexts: 4096, Bytes: 8 << 20}
+	rx := PoolConfig{Contexts: 4096, Bytes: 1280 << 10}
+	return ResourceConfig{
+		Pools: [numPools]PoolConfig{
+			PoolTxReq:  tx,
+			PoolTxResp: tx,
+			PoolRxReq:  rx,
+			PoolRxResp: rx,
+		},
+		HoLAdmissionThreshold: 0.5,
+	}
+}
+
+// ErrNoResources reports pool exhaustion at admission.
+var ErrNoResources = errors.New("tl: resource pool exhausted")
+
+type pool struct {
+	cfg          PoolConfig
+	usedContexts int
+	usedBytes    int
+	// Per-connection holdings within this pool (DT isolation inputs).
+	connCtx   map[uint32]int
+	connBytes map[uint32]int
+}
+
+func (p *pool) tryReserve(bytes int) bool {
+	if p.usedContexts+1 > p.cfg.Contexts || p.usedBytes+bytes > p.cfg.Bytes {
+		return false
+	}
+	p.usedContexts++
+	p.usedBytes += bytes
+	return true
+}
+
+func (p *pool) release(bytes int) {
+	p.usedContexts--
+	p.usedBytes -= bytes
+	if p.usedContexts < 0 || p.usedBytes < 0 {
+		panic(fmt.Sprintf("tl: pool released below zero (ctx=%d bytes=%d)", p.usedContexts, p.usedBytes))
+	}
+}
+
+func (p *pool) occupancy() float64 {
+	if p.cfg.Contexts == 0 {
+		return 1
+	}
+	ctxFrac := float64(p.usedContexts) / float64(p.cfg.Contexts)
+	byteFrac := 0.0
+	if p.cfg.Bytes > 0 {
+		byteFrac = float64(p.usedBytes) / float64(p.cfg.Bytes)
+	}
+	if byteFrac > ctxFrac {
+		return byteFrac
+	}
+	return ctxFrac
+}
+
+// Resources is the NIC-wide resource manager shared by all connections on
+// one Falcon instance.
+type Resources struct {
+	cfg   ResourceConfig
+	pools [numPools]*pool
+
+	// perConn and perConnBytes track contexts and buffer bytes held per
+	// connection, the inputs to dynamic-threshold isolation (§4.6).
+	perConn      map[uint32]int
+	perConnBytes map[uint32]int
+
+	// onRelease subscribers are notified when resources free up
+	// (the Xon edge for backpressured ULPs).
+	onRelease []func()
+}
+
+// NewResources builds the resource manager.
+func NewResources(cfg ResourceConfig) *Resources {
+	r := &Resources{cfg: cfg, perConn: make(map[uint32]int), perConnBytes: make(map[uint32]int)}
+	for i := range r.pools {
+		r.pools[i] = &pool{
+			cfg:       cfg.Pools[i],
+			connCtx:   make(map[uint32]int),
+			connBytes: make(map[uint32]int),
+		}
+	}
+	return r
+}
+
+// Reserve takes one context plus bytes from the pool on behalf of conn.
+func (r *Resources) Reserve(k PoolKind, conn uint32, bytes int) error {
+	p := r.pools[k]
+	if !p.tryReserve(bytes) {
+		return fmt.Errorf("%w: %v", ErrNoResources, k)
+	}
+	p.connCtx[conn]++
+	p.connBytes[conn] += bytes
+	r.perConn[conn]++
+	r.perConnBytes[conn] += bytes
+	return nil
+}
+
+// Release returns one context plus bytes to the pool.
+func (r *Resources) Release(k PoolKind, conn uint32, bytes int) {
+	p := r.pools[k]
+	p.release(bytes)
+	if n := p.connCtx[conn]; n > 1 {
+		p.connCtx[conn] = n - 1
+	} else {
+		delete(p.connCtx, conn)
+	}
+	if b := p.connBytes[conn]; b > bytes {
+		p.connBytes[conn] = b - bytes
+	} else {
+		delete(p.connBytes, conn)
+	}
+	if n := r.perConn[conn]; n > 1 {
+		r.perConn[conn] = n - 1
+	} else {
+		delete(r.perConn, conn)
+	}
+	if b := r.perConnBytes[conn]; b > bytes {
+		r.perConnBytes[conn] = b - bytes
+	} else {
+		delete(r.perConnBytes, conn)
+	}
+	for _, fn := range r.onRelease {
+		fn()
+	}
+}
+
+// Occupancy returns the pool's max(context, byte) occupancy fraction.
+func (r *Resources) Occupancy(k PoolKind) float64 { return r.pools[k].occupancy() }
+
+// RxOccupancy is the NIC congestion signal carried in ACKs: occupancy of
+// the receive-side pools.
+func (r *Resources) RxOccupancy() float64 {
+	rq := r.pools[PoolRxReq].occupancy()
+	rr := r.pools[PoolRxResp].occupancy()
+	if rr > rq {
+		return rr
+	}
+	return rq
+}
+
+// FreeContexts returns the total free contexts across all pools, the
+// denominator of the DT threshold.
+func (r *Resources) FreeContexts() int {
+	free := 0
+	for _, p := range r.pools {
+		free += p.cfg.Contexts - p.usedContexts
+	}
+	return free
+}
+
+// ConnUsage returns the contexts currently held by conn.
+func (r *Resources) ConnUsage(conn uint32) int { return r.perConn[conn] }
+
+// ConnBytes returns the buffer bytes currently held by conn.
+func (r *Resources) ConnBytes(conn uint32) int { return r.perConnBytes[conn] }
+
+// OverDTThreshold applies the dynamic-threshold rule per pool (§4.6): the
+// connection is over-threshold if in ANY pool its holdings exceed
+// α·(free resources of that pool), in contexts or bytes. Per-pool
+// evaluation matters: one exhausted pool must not be masked by slack in
+// the others.
+func (r *Resources) OverDTThreshold(conn uint32, alpha float64) bool {
+	for _, p := range r.pools {
+		freeCtx := float64(p.cfg.Contexts - p.usedContexts)
+		if float64(p.connCtx[conn]) > alpha*freeCtx {
+			return true
+		}
+		freeBytes := float64(p.cfg.Bytes - p.usedBytes)
+		if float64(p.connBytes[conn]) > alpha*freeBytes {
+			return true
+		}
+	}
+	return false
+}
+
+// AdmitRxRequest applies the RxReq admission rule: below the occupancy
+// threshold, all requests are admitted; beyond it, only head-of-line
+// requests (§4.5), preventing non-HoL requests from occupying everything
+// and deadlocking ordered connections.
+func (r *Resources) AdmitRxRequest(conn uint32, bytes int, headOfLine bool) error {
+	if r.pools[PoolRxReq].occupancy() >= r.cfg.HoLAdmissionThreshold && !headOfLine {
+		return fmt.Errorf("%w: rx-req beyond HoL threshold", ErrNoResources)
+	}
+	return r.Reserve(PoolRxReq, conn, bytes)
+}
+
+// Subscribe registers a callback invoked whenever resources are released.
+func (r *Resources) Subscribe(fn func()) { r.onRelease = append(r.onRelease, fn) }

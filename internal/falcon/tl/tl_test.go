@@ -1,0 +1,482 @@
+package tl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"falcon/internal/falcon/pdl"
+	"falcon/internal/falcon/wire"
+	"falcon/internal/sim"
+)
+
+// fakeCtrl emulates the PDL beneath a TL connection: it assigns PSNs,
+// forwards packets to the peer TL after a delay, acks accepted packets back
+// to the sender, and relays the completion horizon — the PDL contract
+// without loss or reordering (unless the test injects it).
+type fakeCtrl struct {
+	s     *sim.Simulator
+	self  **Conn // set after construction
+	peer  **Conn
+	delay time.Duration
+	psn   [wire.NumSpaces]uint32
+
+	// holdRequests, when set, queues outgoing data packets instead of
+	// delivering (for out-of-order injection).
+	holdRequests bool
+	held         []*wire.Packet
+
+	// retryNoResources re-sends packets rejected with NoResources.
+	retryDelay time.Duration
+}
+
+func (f *fakeCtrl) SendPacket(p *wire.Packet) {
+	p.Space = wire.SpaceOf(p.Type)
+	p.PSN = f.psn[p.Space]
+	f.psn[p.Space]++
+	if f.holdRequests {
+		f.held = append(f.held, p)
+		return
+	}
+	f.dispatch(p)
+}
+
+func (f *fakeCtrl) dispatch(p *wire.Packet) {
+	f.s.After(f.delay, func() { f.deliver(p) })
+}
+
+func (f *fakeCtrl) deliver(p *wire.Packet) {
+	v := (*f.peer).Deliver(p)
+	switch v.Kind {
+	case pdl.DeliverAccept:
+		// ACK back to the sender after the return delay.
+		f.s.After(f.delay, func() {
+			(*f.self).PacketAcked(p.Space, p.PSN, p.RSN, p.Type)
+			(*f.self).Completed((*f.peer).CompletedRSN())
+		})
+	case pdl.DeliverNoResources:
+		d := f.retryDelay
+		if d == 0 {
+			d = 20 * time.Microsecond
+		}
+		f.s.After(d, func() { f.deliver(p) })
+	}
+}
+
+// releaseHeld dispatches held packets in the given order (indices into
+// held).
+func (f *fakeCtrl) releaseHeld(order ...int) {
+	for _, i := range order {
+		f.dispatch(f.held[i])
+	}
+	f.held = nil
+}
+
+func (f *fakeCtrl) SendExceptionNack(space wire.Space, psn uint32, rsn uint64, code wire.NackCode, retry time.Duration) {
+	n := &wire.Packet{Type: wire.TypeNack, NackCode: code, Space: space, PSN: psn, RSN: rsn, RetryDelayNs: uint32(retry.Nanoseconds())}
+	f.s.After(f.delay, func() { (*f.peer).NackReceived(n) })
+}
+
+// env is a two-node TL testbed.
+type env struct {
+	s          *sim.Simulator
+	resA, resB *Resources
+	a, b       *Conn
+	ctrlA      *fakeCtrl
+	ctrlB      *fakeCtrl
+	handlerB   *recordingHandler
+}
+
+type recordingHandler struct {
+	pushes  []uint64
+	pulls   []uint64
+	verdict func(rsn uint64) TargetVerdict
+}
+
+func (h *recordingHandler) HandlePush(rsn uint64, p *wire.Packet) TargetVerdict {
+	if h.verdict != nil {
+		if v := h.verdict(rsn); v.Kind != TargetOK {
+			return v
+		}
+	}
+	h.pushes = append(h.pushes, rsn)
+	return TargetVerdict{}
+}
+
+func (h *recordingHandler) HandlePull(rsn uint64, p *wire.Packet) ([]byte, uint32, TargetVerdict) {
+	if h.verdict != nil {
+		if v := h.verdict(rsn); v.Kind != TargetOK {
+			return nil, 0, v
+		}
+	}
+	h.pulls = append(h.pulls, rsn)
+	return []byte("pulled"), p.PullLength, TargetVerdict{}
+}
+
+func newEnv(t *testing.T, cfg Config) *env {
+	t.Helper()
+	e := &env{s: sim.New(3)}
+	e.resA = NewResources(DefaultResourceConfig())
+	e.resB = NewResources(DefaultResourceConfig())
+	e.handlerB = &recordingHandler{}
+	e.ctrlA = &fakeCtrl{s: e.s, delay: time.Microsecond}
+	e.ctrlB = &fakeCtrl{s: e.s, delay: time.Microsecond}
+	e.a = NewConn(e.s, 1, cfg, e.resA, e.ctrlA, nil)
+	e.b = NewConn(e.s, 1, cfg, e.resB, e.ctrlB, e.handlerB)
+	e.ctrlA.self, e.ctrlA.peer = &e.a, &e.b
+	e.ctrlB.self, e.ctrlB.peer = &e.b, &e.a
+	return e
+}
+
+func TestPushCompletesInOrder(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	var completions []uint64
+	for i := 0; i < 5; i++ {
+		rsn, err := e.a.Push(nil, 1024, func(_ []byte, err error) {
+			if err != nil {
+				t.Errorf("push error: %v", err)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		completions = append(completions, rsn)
+	}
+	e.s.Run()
+	if len(e.handlerB.pushes) != 5 {
+		t.Fatalf("target saw %d pushes", len(e.handlerB.pushes))
+	}
+	if e.a.Stats.CompletedOK != 5 {
+		t.Fatalf("CompletedOK = %d", e.a.Stats.CompletedOK)
+	}
+	if e.b.CompletedRSN() != 5 {
+		t.Fatalf("target CompletedRSN = %d", e.b.CompletedRSN())
+	}
+}
+
+func TestPullRoundTrip(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	var got []byte
+	if _, err := e.a.Pull(2048, func(data []byte, err error) {
+		if err != nil {
+			t.Errorf("pull error: %v", err)
+		}
+		got = data
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.s.Run()
+	if string(got) != "pulled" {
+		t.Fatalf("pull data = %q", got)
+	}
+	if len(e.handlerB.pulls) != 1 {
+		t.Fatalf("target pulls = %d", len(e.handlerB.pulls))
+	}
+}
+
+func TestOrderedDeliveryDespiteArrivalOrder(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	e.ctrlA.holdRequests = true
+	for i := 0; i < 4; i++ {
+		if _, err := e.a.Push(nil, 256, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deliver in scrambled order: 2,0,3,1.
+	e.ctrlA.releaseHeld(2, 0, 3, 1)
+	e.s.Run()
+	if len(e.handlerB.pushes) != 4 {
+		t.Fatalf("target saw %d pushes", len(e.handlerB.pushes))
+	}
+	for i, rsn := range e.handlerB.pushes {
+		if rsn != uint64(i) {
+			t.Fatalf("delivery order %v violates RSN order", e.handlerB.pushes)
+		}
+	}
+}
+
+func TestUnorderedDeliversImmediately(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ordered = false
+	e := newEnv(t, cfg)
+	e.ctrlA.holdRequests = true
+	for i := 0; i < 3; i++ {
+		if _, err := e.a.Push(nil, 256, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.ctrlA.releaseHeld(2, 1, 0)
+	e.s.Run()
+	if len(e.handlerB.pushes) != 3 {
+		t.Fatalf("target saw %d pushes", len(e.handlerB.pushes))
+	}
+	// Arrival order preserved (2,1,0), not RSN order.
+	if e.handlerB.pushes[0] != 2 {
+		t.Fatalf("unordered delivery should follow arrival: %v", e.handlerB.pushes)
+	}
+	if e.a.Stats.CompletedOK != 3 {
+		t.Fatalf("CompletedOK = %d", e.a.Stats.CompletedOK)
+	}
+	if e.b.CompletedRSN() != 0 {
+		t.Fatal("unordered connections advertise no completion horizon")
+	}
+}
+
+func TestResourcesReturnToZero(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	for i := 0; i < 10; i++ {
+		if _, err := e.a.Push(nil, 1000, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.a.Pull(3000, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.s.Run()
+	for _, res := range []*Resources{e.resA, e.resB} {
+		for k := PoolKind(0); k < numPools; k++ {
+			if occ := res.Occupancy(k); occ != 0 {
+				t.Errorf("pool %v occupancy %v after drain", k, occ)
+			}
+		}
+	}
+	if u := e.resA.ConnUsage(1); u != 0 {
+		t.Errorf("conn usage %d after drain", u)
+	}
+}
+
+func TestHoLAdmission(t *testing.T) {
+	res := NewResources(ResourceConfig{
+		Pools: [numPools]PoolConfig{
+			PoolRxReq: {Contexts: 10, Bytes: 10000},
+		},
+		HoLAdmissionThreshold: 0.5,
+	})
+	// Fill to the threshold with non-HoL requests.
+	for i := 0; i < 5; i++ {
+		if err := res.AdmitRxRequest(1, 100, false); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	// Beyond the threshold, non-HoL is refused, HoL admitted.
+	if err := res.AdmitRxRequest(1, 100, false); err == nil {
+		t.Fatal("non-HoL admitted beyond threshold")
+	}
+	if err := res.AdmitRxRequest(1, 100, true); err != nil {
+		t.Fatalf("HoL refused: %v", err)
+	}
+}
+
+func TestRNRRetryCompletes(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	attempts := 0
+	e.handlerB.verdict = func(rsn uint64) TargetVerdict {
+		attempts++
+		if attempts <= 2 {
+			return TargetVerdict{Kind: TargetRNR, RetryDelay: 30 * time.Microsecond}
+		}
+		return TargetVerdict{}
+	}
+	var done bool
+	if _, err := e.a.Push(nil, 512, func(_ []byte, err error) {
+		if err != nil {
+			t.Errorf("push failed after RNR retries: %v", err)
+		}
+		done = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.s.Run()
+	if !done {
+		t.Fatal("push never completed")
+	}
+	if e.a.Stats.RNRRetries != 2 {
+		t.Fatalf("RNRRetries = %d, want 2", e.a.Stats.RNRRetries)
+	}
+	if attempts != 3 {
+		t.Fatalf("target attempts = %d", attempts)
+	}
+}
+
+func TestCIECompletesInErrorAndContinues(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	e.handlerB.verdict = func(rsn uint64) TargetVerdict {
+		if rsn == 0 {
+			return TargetVerdict{Kind: TargetError}
+		}
+		return TargetVerdict{}
+	}
+	var errs []error
+	for i := 0; i < 3; i++ {
+		if _, err := e.a.Push(nil, 512, func(_ []byte, err error) {
+			errs = append(errs, err)
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.s.Run()
+	if len(errs) != 3 {
+		t.Fatalf("completions = %d", len(errs))
+	}
+	if !errors.Is(errs[0], ErrCIE) {
+		t.Fatalf("first completion error = %v, want CIE", errs[0])
+	}
+	if errs[1] != nil || errs[2] != nil {
+		t.Fatalf("subsequent transactions should succeed: %v", errs)
+	}
+	if e.a.Stats.CompletedError != 1 || e.a.Stats.CompletedOK != 2 {
+		t.Fatalf("stats: %+v", e.a.Stats)
+	}
+}
+
+func TestBackpressureStaticThreshold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Backpressure = BackpressureStatic
+	cfg.StaticAlpha = 0.00005 // threshold below one context
+	e := newEnv(t, cfg)
+	// The first push holds 2 contexts; with a tiny alpha the second is
+	// refused until the first completes.
+	if _, err := e.a.Push(nil, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.a.Push(nil, 100, nil)
+	if !errors.Is(err, ErrBackpressured) {
+		t.Fatalf("expected backpressure, got %v", err)
+	}
+	if e.a.Stats.Backpressured == 0 {
+		t.Fatal("backpressure not counted")
+	}
+	// Xon fires once resources drain.
+	var xon bool
+	e.a.SetXonCallback(func() { xon = true })
+	e.s.Run()
+	if !xon {
+		t.Fatal("Xon callback never fired")
+	}
+	if _, err := e.a.Push(nil, 100, nil); err != nil {
+		t.Fatalf("push after Xon: %v", err)
+	}
+}
+
+func TestBackpressureNoneNeverRefusesUntilPoolsExhaust(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Backpressure = BackpressureNone
+	e := newEnv(t, cfg)
+	e.ctrlA.holdRequests = true // nothing completes
+	n := 0
+	for {
+		if _, err := e.a.Push(nil, 0, nil); err != nil {
+			break
+		}
+		n++
+		if n > 5000 {
+			t.Fatal("pool never exhausted")
+		}
+	}
+	// Zero-byte pushes exhaust contexts: the smaller of the TxReq and
+	// RxResp context pools bounds admissions.
+	want := DefaultResourceConfig().Pools[PoolTxReq].Contexts
+	if rx := DefaultResourceConfig().Pools[PoolRxResp].Contexts; rx < want {
+		want = rx
+	}
+	if n != want {
+		t.Fatalf("admitted %d pushes before exhaustion, want %d", n, want)
+	}
+}
+
+func TestMTUViolationRejected(t *testing.T) {
+	e := newEnv(t, DefaultConfig())
+	if _, err := e.a.Push(nil, 5000, nil); err == nil {
+		t.Fatal("push above MTU accepted")
+	}
+	if _, err := e.a.Pull(5000, nil); err == nil {
+		t.Fatal("pull above MTU accepted")
+	}
+}
+
+func TestPullResponseDeferredUnderTxRespPressure(t *testing.T) {
+	cfg := DefaultConfig()
+	e := newEnv(t, cfg)
+	// Shrink B's TxResp pool to 1 context so concurrent pulls defer.
+	e.resB.pools[PoolTxResp].cfg = PoolConfig{Contexts: 1, Bytes: 4096}
+	okCount := 0
+	for i := 0; i < 4; i++ {
+		if _, err := e.a.Pull(1024, func(_ []byte, err error) {
+			if err == nil {
+				okCount++
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.s.Run()
+	if okCount != 4 {
+		t.Fatalf("completed %d of 4 pulls with deferred responses", okCount)
+	}
+}
+
+func TestResourcePoolAccounting(t *testing.T) {
+	res := NewResources(DefaultResourceConfig())
+	if err := res.Reserve(PoolTxReq, 7, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if res.ConnUsage(7) != 1 {
+		t.Fatalf("usage = %d", res.ConnUsage(7))
+	}
+	if res.Occupancy(PoolTxReq) <= 0 {
+		t.Fatal("occupancy should be positive")
+	}
+	res.Release(PoolTxReq, 7, 1000)
+	if res.ConnUsage(7) != 0 || res.Occupancy(PoolTxReq) != 0 {
+		t.Fatal("release did not restore")
+	}
+}
+
+func TestOverReleasePanics(t *testing.T) {
+	res := NewResources(DefaultResourceConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on over-release")
+		}
+	}()
+	res.Release(PoolTxReq, 1, 0)
+}
+
+func TestRxOccupancySignal(t *testing.T) {
+	res := NewResources(DefaultResourceConfig())
+	if res.RxOccupancy() != 0 {
+		t.Fatal("empty resources should report 0 occupancy")
+	}
+	cfgBytes := DefaultResourceConfig().Pools[PoolRxReq].Bytes
+	if err := res.Reserve(PoolRxReq, 1, cfgBytes/2); err != nil {
+		t.Fatal(err)
+	}
+	if occ := res.RxOccupancy(); occ < 0.49 || occ > 0.51 {
+		t.Fatalf("occupancy = %v, want ~0.5", occ)
+	}
+}
+
+func TestSubscribeNotifiedOnRelease(t *testing.T) {
+	res := NewResources(DefaultResourceConfig())
+	calls := 0
+	res.Subscribe(func() { calls++ })
+	if err := res.Reserve(PoolTxReq, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	res.Release(PoolTxReq, 1, 0)
+	if calls != 1 {
+		t.Fatalf("subscriber calls = %d", calls)
+	}
+}
+
+func TestPoolKindStrings(t *testing.T) {
+	for k := PoolKind(0); k < numPools; k++ {
+		if k.String() == "" {
+			t.Fatalf("empty name for pool %d", k)
+		}
+	}
+	_ = PoolKind(99).String()
+	_ = BackpressureNone.String()
+	_ = BackpressureStatic.String()
+	_ = BackpressureDynamic.String()
+}

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// BitmapBits is the width of the RX window bitmap carried in ACKs. The
+// paper: "128-bit bitmaps worked well for our use cases" (§4.1).
+const BitmapBits = 128
+
+// Bitmap is the 128-bit receive window bitmap piggybacked on ACKs. Bit i
+// describes PSN Base+i: 1 = received, 0 = missing. Bit 0 is the LSB of
+// word 0.
+type Bitmap [2]uint64
+
+// Set marks bit i. Out-of-range indices are ignored (the caller clamps to
+// the window).
+func (m *Bitmap) Set(i int) {
+	if i < 0 || i >= BitmapBits {
+		return
+	}
+	m[i/64] |= 1 << (i % 64)
+}
+
+// Clear clears bit i.
+func (m *Bitmap) Clear(i int) {
+	if i < 0 || i >= BitmapBits {
+		return
+	}
+	m[i/64] &^= 1 << (i % 64)
+}
+
+// Get reports bit i. Out-of-range indices report false.
+func (m Bitmap) Get(i int) bool {
+	if i < 0 || i >= BitmapBits {
+		return false
+	}
+	return m[i/64]&(1<<(i%64)) != 0
+}
+
+// ShiftRight shifts the window down by n bits (discarding the low n bits),
+// used when the RX window base advances by n.
+func (m *Bitmap) ShiftRight(n int) {
+	if n <= 0 {
+		return
+	}
+	if n >= BitmapBits {
+		m[0], m[1] = 0, 0
+		return
+	}
+	if n >= 64 {
+		m[0] = m[1] >> (n - 64)
+		m[1] = 0
+		return
+	}
+	m[0] = m[0]>>n | m[1]<<(64-n)
+	m[1] >>= n
+}
+
+// OnesCount returns the number of set bits.
+func (m Bitmap) OnesCount() int {
+	return bits.OnesCount64(m[0]) + bits.OnesCount64(m[1])
+}
+
+// LeadingRun returns the length of the run of consecutive set bits starting
+// at bit 0. This is how many PSNs the base can cumulatively advance.
+func (m Bitmap) LeadingRun() int {
+	inv0 := ^m[0]
+	if inv0 != 0 {
+		return bits.TrailingZeros64(inv0)
+	}
+	inv1 := ^m[1]
+	if inv1 != 0 {
+		return 64 + bits.TrailingZeros64(inv1)
+	}
+	return BitmapBits
+}
+
+// HighestSet returns the index of the highest set bit, or -1 if empty.
+func (m Bitmap) HighestSet() int {
+	if m[1] != 0 {
+		return 127 - bits.LeadingZeros64(m[1])
+	}
+	if m[0] != 0 {
+		return 63 - bits.LeadingZeros64(m[0])
+	}
+	return -1
+}
+
+// IsZero reports whether no bits are set.
+func (m Bitmap) IsZero() bool { return m[0] == 0 && m[1] == 0 }
+
+func (m Bitmap) String() string {
+	if m.IsZero() {
+		return "[empty]"
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	first := true
+	runStart := -1
+	flush := func(end int) {
+		if runStart < 0 {
+			return
+		}
+		if !first {
+			sb.WriteByte(',')
+		}
+		first = false
+		if end-1 == runStart {
+			fmt.Fprintf(&sb, "%d", runStart)
+		} else {
+			fmt.Fprintf(&sb, "%d-%d", runStart, end-1)
+		}
+		runStart = -1
+	}
+	for i := 0; i < BitmapBits; i++ {
+		if m.Get(i) {
+			if runStart < 0 {
+				runStart = i
+			}
+		} else {
+			flush(i)
+		}
+	}
+	flush(BitmapBits)
+	sb.WriteByte(']')
+	return sb.String()
+}

@@ -1,0 +1,217 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapSetGetClear(t *testing.T) {
+	var m Bitmap
+	for _, i := range []int{0, 1, 63, 64, 65, 127} {
+		if m.Get(i) {
+			t.Fatalf("bit %d set in zero bitmap", i)
+		}
+		m.Set(i)
+		if !m.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		m.Clear(i)
+		if m.Get(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestBitmapOutOfRange(t *testing.T) {
+	var m Bitmap
+	m.Set(-1)
+	m.Set(128)
+	m.Set(1 << 20)
+	if !m.IsZero() {
+		t.Fatal("out-of-range Set modified bitmap")
+	}
+	if m.Get(-1) || m.Get(128) {
+		t.Fatal("out-of-range Get returned true")
+	}
+}
+
+func TestBitmapLeadingRun(t *testing.T) {
+	cases := []struct {
+		set  []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{0}, 1},
+		{[]int{0, 1, 2}, 3},
+		{[]int{1, 2}, 0},
+		{[]int{0, 1, 3}, 2},
+	}
+	for _, c := range cases {
+		var m Bitmap
+		for _, i := range c.set {
+			m.Set(i)
+		}
+		if got := m.LeadingRun(); got != c.want {
+			t.Errorf("LeadingRun(%v) = %d, want %d", c.set, got, c.want)
+		}
+	}
+	// Full bitmap.
+	var m Bitmap
+	for i := 0; i < BitmapBits; i++ {
+		m.Set(i)
+	}
+	if got := m.LeadingRun(); got != BitmapBits {
+		t.Errorf("LeadingRun(full) = %d, want %d", got, BitmapBits)
+	}
+	// Exactly the first word set.
+	var w Bitmap
+	for i := 0; i < 64; i++ {
+		w.Set(i)
+	}
+	if got := w.LeadingRun(); got != 64 {
+		t.Errorf("LeadingRun(first word) = %d, want 64", got)
+	}
+}
+
+func TestBitmapShiftRight(t *testing.T) {
+	var m Bitmap
+	m.Set(0)
+	m.Set(5)
+	m.Set(64)
+	m.Set(127)
+	m.ShiftRight(5)
+	for i, want := range map[int]bool{0: true, 59: true, 122: true, 5: false, 64: false, 127: false} {
+		if m.Get(i) != want {
+			t.Errorf("after shift 5: bit %d = %v, want %v", i, m.Get(i), want)
+		}
+	}
+}
+
+func TestBitmapShiftRightWordBoundary(t *testing.T) {
+	var m Bitmap
+	m.Set(64)
+	m.Set(100)
+	m.ShiftRight(64)
+	if !m.Get(0) || !m.Get(36) {
+		t.Fatalf("shift 64 wrong: %v", m)
+	}
+	if m.OnesCount() != 2 {
+		t.Fatalf("shift 64 count = %d", m.OnesCount())
+	}
+	m.ShiftRight(128)
+	if !m.IsZero() {
+		t.Fatal("shift 128 should clear")
+	}
+}
+
+func TestBitmapShiftZeroOrNegative(t *testing.T) {
+	var m Bitmap
+	m.Set(7)
+	m.ShiftRight(0)
+	m.ShiftRight(-3)
+	if !m.Get(7) || m.OnesCount() != 1 {
+		t.Fatal("shift 0/negative must not modify")
+	}
+}
+
+func TestBitmapHighestSet(t *testing.T) {
+	var m Bitmap
+	if m.HighestSet() != -1 {
+		t.Fatal("HighestSet on empty should be -1")
+	}
+	m.Set(3)
+	if m.HighestSet() != 3 {
+		t.Fatalf("HighestSet = %d", m.HighestSet())
+	}
+	m.Set(99)
+	if m.HighestSet() != 99 {
+		t.Fatalf("HighestSet = %d", m.HighestSet())
+	}
+	m.Set(127)
+	if m.HighestSet() != 127 {
+		t.Fatalf("HighestSet = %d", m.HighestSet())
+	}
+}
+
+func TestBitmapString(t *testing.T) {
+	var m Bitmap
+	if m.String() != "[empty]" {
+		t.Fatalf("empty string = %q", m.String())
+	}
+	m.Set(1)
+	m.Set(2)
+	m.Set(3)
+	m.Set(9)
+	if got := m.String(); got != "[1-3,9]" {
+		t.Fatalf("String = %q, want [1-3,9]", got)
+	}
+}
+
+// Property: ShiftRight(n) behaves like a reference bit-slice shift.
+func TestQuickShiftMatchesReference(t *testing.T) {
+	f := func(w0, w1 uint64, shift uint8) bool {
+		n := int(shift % 140) // cover > 128 too
+		m := Bitmap{w0, w1}
+		ref := make([]bool, BitmapBits)
+		for i := 0; i < BitmapBits; i++ {
+			ref[i] = m.Get(i)
+		}
+		m.ShiftRight(n)
+		for i := 0; i < BitmapBits; i++ {
+			want := false
+			if i+n < BitmapBits {
+				want = ref[i+n]
+			}
+			if m.Get(i) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LeadingRun equals the index of the first clear bit.
+func TestQuickLeadingRun(t *testing.T) {
+	f := func(w0, w1 uint64) bool {
+		m := Bitmap{w0, w1}
+		want := BitmapBits
+		for i := 0; i < BitmapBits; i++ {
+			if !m.Get(i) {
+				want = i
+				break
+			}
+		}
+		return m.LeadingRun() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a simulated RX window (random arrival order) always ends with
+// base advanced by the count of delivered PSNs once all arrive.
+func TestQuickWindowDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(BitmapBits) + 1
+		order := rng.Perm(n)
+		var m Bitmap
+		base := 0
+		for _, psn := range order {
+			m.Set(psn - base)
+			run := m.LeadingRun()
+			m.ShiftRight(run)
+			base += run
+		}
+		if base != n {
+			t.Fatalf("trial %d: base = %d after all %d arrivals", trial, base, n)
+		}
+		if !m.IsZero() {
+			t.Fatalf("trial %d: bitmap not empty after drain: %v", trial, m)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func samplePacket() *Packet {
+	return &Packet{
+		Type:           TypeAck,
+		Flags:          FlagAckReq | FlagOrdered,
+		NackCode:       NackNone,
+		ConnID:         0xdeadbeef,
+		FlowLabel:      MakeFlowLabel(0x1234, 2),
+		PSN:            42,
+		Space:          SpaceResponse,
+		RSN:            1 << 40,
+		T1:             123456789,
+		T1Echo:         987654321,
+		T2:             111,
+		T3:             222,
+		Req:            AckInfo{Base: 100, Bitmap: Bitmap{0x5, 0x80}},
+		Resp:           AckInfo{Base: 7, Bitmap: Bitmap{1, 0}},
+		RxBufOccupancy: 4096,
+		AckFlowIndex:   3,
+		Length:         0,
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := samplePacket()
+	buf := p.Marshal(nil)
+	if len(buf) != HeaderLen() {
+		t.Fatalf("marshaled length = %d, want %d", len(buf), HeaderLen())
+	}
+	var q Packet
+	n, err := q.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != HeaderLen() {
+		t.Fatalf("consumed %d, want %d", n, HeaderLen())
+	}
+	if !reflect.DeepEqual(*p, q) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", q, *p)
+	}
+}
+
+func TestMarshalRoundTripWithPayload(t *testing.T) {
+	p := samplePacket()
+	p.Type = TypePushData
+	p.Data = []byte("hello falcon payload")
+	p.Length = uint32(len(p.Data))
+	buf := p.Marshal(nil)
+	if len(buf) != HeaderLen()+len(p.Data) {
+		t.Fatalf("marshaled length = %d", len(buf))
+	}
+	var q Packet
+	n, err := q.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d, want %d", n, len(buf))
+	}
+	if !bytes.Equal(q.Data, p.Data) {
+		t.Fatalf("payload mismatch: %q", q.Data)
+	}
+}
+
+func TestMarshalHeaderOnlyPayloadLength(t *testing.T) {
+	// Simulation mode: Length set but no Data bytes on the wire.
+	p := samplePacket()
+	p.Type = TypePushData
+	p.Length = 4096
+	buf := p.Marshal(nil)
+	var q Packet
+	n, err := q.Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != HeaderLen() {
+		t.Fatalf("consumed %d, want header only", n)
+	}
+	if q.Length != 4096 || q.Data != nil {
+		t.Fatalf("Length = %d, Data = %v", q.Length, q.Data)
+	}
+}
+
+func TestMarshalAppendsToDst(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	p := samplePacket()
+	buf := p.Marshal(prefix)
+	if !bytes.Equal(buf[:3], prefix) {
+		t.Fatal("Marshal clobbered prefix")
+	}
+	var q Packet
+	if _, err := q.Unmarshal(buf[3:]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var p Packet
+	if _, err := p.Unmarshal(make([]byte, HeaderLen()-1)); err != ErrShortBuffer {
+		t.Fatalf("short buffer error = %v", err)
+	}
+	buf := make([]byte, HeaderLen())
+	buf[0] = 0 // TypeInvalid
+	if _, err := p.Unmarshal(buf); err == nil {
+		t.Fatal("expected error for invalid type")
+	}
+	buf[0] = 200
+	if _, err := p.Unmarshal(buf); err == nil {
+		t.Fatal("expected error for unknown type")
+	}
+}
+
+func TestFlowLabel(t *testing.T) {
+	l := MakeFlowLabel(0xABC, 3)
+	if l.FlowIndex() != 3 {
+		t.Fatalf("FlowIndex = %d", l.FlowIndex())
+	}
+	if l.Path() != 0xABC {
+		t.Fatalf("Path = %#x", l.Path())
+	}
+	l2 := l.WithPath(0x55)
+	if l2.FlowIndex() != 3 || l2.Path() != 0x55 {
+		t.Fatalf("WithPath = idx %d path %#x", l2.FlowIndex(), l2.Path())
+	}
+	// Flow index wraps into MaxFlows.
+	if MakeFlowLabel(0, MaxFlows+1).FlowIndex() != 1 {
+		t.Fatal("flow index should mask to FlowIndexBits")
+	}
+}
+
+func TestSpaceOf(t *testing.T) {
+	if SpaceOf(TypePushData) != SpaceRequest {
+		t.Fatal("PushData should be request space")
+	}
+	if SpaceOf(TypePullRequest) != SpaceRequest {
+		t.Fatal("PullRequest should be request space")
+	}
+	if SpaceOf(TypePullResponse) != SpaceResponse {
+		t.Fatal("PullResponse should be response space")
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	for _, tt := range []Type{TypePushData, TypePullRequest, TypePullResponse, TypeResync} {
+		if !tt.IsData() {
+			t.Errorf("%v should be data", tt)
+		}
+	}
+	for _, tt := range []Type{TypeAck, TypeNack} {
+		if tt.IsData() {
+			t.Errorf("%v should not be data", tt)
+		}
+	}
+}
+
+func TestStringsDoNotPanic(t *testing.T) {
+	for ty := TypeInvalid; ty <= TypeResync+1; ty++ {
+		_ = ty.String()
+	}
+	for c := NackNone; c <= NackXoff+1; c++ {
+		_ = c.String()
+	}
+	p := samplePacket()
+	_ = p.String()
+	p.Type = TypeNack
+	_ = p.String()
+	p.Type = TypePushData
+	_ = p.String()
+	_ = SpaceRequest.String()
+	_ = SpaceResponse.String()
+	_ = Space(9).String()
+}
+
+// Property: Marshal/Unmarshal is the identity on arbitrary valid packets.
+func TestQuickMarshalRoundTrip(t *testing.T) {
+	f := func(ty uint8, flags uint8, nack uint8, conn uint32, label uint32,
+		psn uint32, space bool, rsn uint64, t1, t2 int64, reqBase uint32,
+		rb0, rb1 uint64, occ uint16, flowIdx uint8) bool {
+		p := Packet{
+			Type:           Type(ty%6 + 1), // valid types only
+			Flags:          flags,
+			NackCode:       NackCode(nack % 5),
+			ConnID:         conn,
+			FlowLabel:      FlowLabel(label),
+			PSN:            psn,
+			RSN:            rsn,
+			T1:             t1,
+			T2:             t2,
+			Req:            AckInfo{Base: reqBase, Bitmap: Bitmap{rb0, rb1}},
+			RxBufOccupancy: occ,
+			AckFlowIndex:   flowIdx,
+		}
+		if space {
+			p.Space = SpaceResponse
+		}
+		buf := p.Marshal(nil)
+		var q Packet
+		if _, err := q.Unmarshal(buf); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(p, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	p := samplePacket()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = p.Marshal(buf[:0])
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	buf := samplePacket().Marshal(nil)
+	var q Packet
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

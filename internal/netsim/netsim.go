@@ -1,0 +1,350 @@
+// Package netsim simulates the Ethernet datacenter fabric the Falcon
+// evaluation runs on: hosts with access links, output-queued switches,
+// ECMP/WCMP next-hop selection hashed on the transport's flow label, and the
+// switch-level impairments (random drop, reordering, link failure) the paper
+// configures in §6.1.
+//
+// netsim is transport-agnostic: it moves Frames, which carry an opaque
+// Payload. Falcon, RoCE and the software-transport baselines all ride the
+// same fabric, so fabric behaviour can never silently favor one transport.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// NodeID identifies a host in the network.
+type NodeID int
+
+// Frame is one packet on the wire.
+type Frame struct {
+	Src, Dst NodeID
+	// FlowHash is the ECMP hash input. Transports derive it from the
+	// 4-tuple plus the IPv6 flow label, so changing the flow label
+	// repaths the flow (PLB/PRR).
+	FlowHash uint64
+	// Size is the frame's wire size in bytes.
+	Size int
+	// Payload is the transport packet (e.g. *wire.Packet).
+	Payload any
+	// SentAt is stamped by Host.Send.
+	SentAt sim.Time
+	// Hops counts switch traversals, exported to transports that use a
+	// hop-count congestion signal.
+	Hops int
+	// CE is the ECN congestion-experienced mark, set by any port whose
+	// queue exceeds its marking threshold.
+	CE bool
+}
+
+// Handler receives frames delivered to a host.
+type Handler interface {
+	HandleFrame(f *Frame)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(*Frame)
+
+// HandleFrame calls fn(f).
+func (fn HandlerFunc) HandleFrame(f *Frame) { fn(f) }
+
+// device is anything a port can deliver to.
+type device interface {
+	receive(f *Frame)
+}
+
+// LinkConfig describes one direction of a link.
+type LinkConfig struct {
+	// GbpsRate is the link speed in gigabits per second.
+	GbpsRate float64
+	// PropDelay is the one-way propagation delay.
+	PropDelay time.Duration
+	// QueueBytes is the output queue limit; 0 means a generous default
+	// (1 MiB). Frames arriving at a full queue are dropped.
+	QueueBytes int
+}
+
+// DefaultQueueBytes is the output-queue limit used when LinkConfig leaves
+// QueueBytes zero.
+const DefaultQueueBytes = 1 << 20
+
+// PortStats counts traffic through one directed port.
+type PortStats struct {
+	TxFrames      uint64
+	TxBytes       uint64
+	QueueDrops    uint64
+	RandomDrops   uint64
+	Reordered     uint64
+	ECNMarks      uint64
+	MaxQueueBytes int
+}
+
+// Port is one directed egress: a serializing output queue feeding a
+// propagation-delayed wire toward dst.
+type Port struct {
+	sim   *sim.Simulator
+	name  string
+	rate  float64 // bytes per nanosecond
+	prop  time.Duration
+	limit int
+	dst   device
+
+	queuedBytes int
+	busyUntil   sim.Time
+	down        bool
+
+	// Impairments, adjustable at runtime by experiments.
+	dropProb     float64
+	reorderProb  float64
+	reorderDelay time.Duration
+
+	// ecnThreshold marks frames CE when the queue exceeds this many
+	// bytes (0 = ECN marking off).
+	ecnThreshold int
+
+	Stats PortStats
+}
+
+func newPort(s *sim.Simulator, name string, cfg LinkConfig, dst device) *Port {
+	if cfg.GbpsRate <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	limit := cfg.QueueBytes
+	if limit == 0 {
+		limit = DefaultQueueBytes
+	}
+	return &Port{
+		sim:   s,
+		name:  name,
+		rate:  cfg.GbpsRate / 8, // Gbit/s -> bytes/ns
+		prop:  cfg.PropDelay,
+		limit: limit,
+		dst:   dst,
+	}
+}
+
+// SetDropProb configures random egress drop with probability p, modeling the
+// paper's "switch configured to randomly drop packets" experiments.
+func (p *Port) SetDropProb(prob float64) { p.dropProb = prob }
+
+// SetReorder configures random reordering: with probability prob a frame is
+// held for extraDelay before delivery, so later frames overtake it.
+func (p *Port) SetReorder(prob float64, extraDelay time.Duration) {
+	p.reorderProb = prob
+	p.reorderDelay = extraDelay
+}
+
+// SetDown marks the port failed; all frames are dropped (network outage for
+// PRR experiments).
+func (p *Port) SetDown(down bool) { p.down = down }
+
+// SetECNThreshold enables ECN marking: frames that arrive to a queue
+// deeper than bytes are marked congestion-experienced.
+func (p *Port) SetECNThreshold(bytes int) { p.ecnThreshold = bytes }
+
+// SetRateGbps changes the port speed at runtime (e.g. link downgrade).
+func (p *Port) SetRateGbps(gbps float64) {
+	if gbps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	p.rate = gbps / 8
+}
+
+// QueueDelay returns the current queuing delay a newly arriving frame would
+// experience before serialization begins.
+func (p *Port) QueueDelay() time.Duration {
+	now := p.sim.Now()
+	if p.busyUntil <= now {
+		return 0
+	}
+	return p.busyUntil.Sub(now)
+}
+
+// QueuedBytes returns the bytes currently awaiting serialization.
+func (p *Port) QueuedBytes() int { return p.queuedBytes }
+
+// send enqueues f for transmission.
+func (p *Port) send(f *Frame) {
+	if p.down {
+		p.Stats.RandomDrops++
+		return
+	}
+	if p.dropProb > 0 && p.sim.Rand().Float64() < p.dropProb {
+		p.Stats.RandomDrops++
+		return
+	}
+	if p.queuedBytes+f.Size > p.limit {
+		p.Stats.QueueDrops++
+		return
+	}
+	p.queuedBytes += f.Size
+	if p.queuedBytes > p.Stats.MaxQueueBytes {
+		p.Stats.MaxQueueBytes = p.queuedBytes
+	}
+	if p.ecnThreshold > 0 && p.queuedBytes > p.ecnThreshold {
+		f.CE = true
+		p.Stats.ECNMarks++
+	}
+	now := p.sim.Now()
+	start := p.busyUntil
+	if start < now {
+		start = now
+	}
+	serialization := time.Duration(float64(f.Size) / p.rate)
+	departure := start.Add(serialization)
+	p.busyUntil = departure
+	p.Stats.TxFrames++
+	p.Stats.TxBytes += uint64(f.Size)
+
+	arrival := departure.Add(p.prop)
+	if p.reorderProb > 0 && p.sim.Rand().Float64() < p.reorderProb {
+		arrival = arrival.Add(p.reorderDelay)
+		p.Stats.Reordered++
+	}
+	p.sim.At(departure, func() { p.queuedBytes -= f.Size })
+	p.sim.At(arrival, func() { p.dst.receive(f) })
+}
+
+// Host is an endpoint with a single access link.
+type Host struct {
+	ID      NodeID
+	net     *Network
+	handler Handler
+	uplink  *Port
+	// RxFrames counts delivered frames.
+	RxFrames uint64
+}
+
+// SetHandler installs the frame receiver. Must be called before traffic
+// arrives.
+func (h *Host) SetHandler(hd Handler) { h.handler = hd }
+
+// Uplink returns the host's egress port (host -> first switch), e.g. to
+// impair or re-rate it.
+func (h *Host) Uplink() *Port { return h.uplink }
+
+// Send transmits a frame from this host. f.Src is set to the host's ID.
+func (h *Host) Send(f *Frame) {
+	f.Src = h.ID
+	f.SentAt = h.net.sim.Now()
+	f.Hops = 0
+	if h.uplink == nil {
+		panic(fmt.Sprintf("netsim: host %d has no uplink", h.ID))
+	}
+	h.uplink.send(f)
+}
+
+func (h *Host) receive(f *Frame) {
+	h.RxFrames++
+	if h.handler != nil {
+		h.handler.HandleFrame(f)
+	}
+}
+
+// Switch forwards frames by destination with ECMP across equal-cost
+// next-hop ports.
+type Switch struct {
+	id     int
+	net    *Network
+	salt   uint64
+	routes map[NodeID][]*Port
+	// RxFrames counts frames entering the switch.
+	RxFrames uint64
+}
+
+// addRoute registers ports as next hops toward dst.
+func (sw *Switch) addRoute(dst NodeID, ports ...*Port) {
+	sw.routes[dst] = append(sw.routes[dst], ports...)
+}
+
+// RouteTo returns the ECMP port set toward dst (for impairment injection).
+func (sw *Switch) RouteTo(dst NodeID) []*Port { return sw.routes[dst] }
+
+func (sw *Switch) receive(f *Frame) {
+	sw.RxFrames++
+	f.Hops++
+	ports := sw.routes[f.Dst]
+	switch len(ports) {
+	case 0:
+		panic(fmt.Sprintf("netsim: switch %d has no route to host %d", sw.id, f.Dst))
+	case 1:
+		ports[0].send(f)
+	default:
+		h := mix64(f.FlowHash ^ sw.salt ^ uint64(f.Dst)<<32 ^ uint64(f.Src))
+		ports[h%uint64(len(ports))].send(f)
+	}
+}
+
+// mix64 is a splitmix64 finalizer: a cheap avalanche so per-switch salts
+// decorrelate ECMP choices.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Network owns hosts and switches attached to one simulator.
+type Network struct {
+	sim      *sim.Simulator
+	hosts    []*Host
+	switches []*Switch
+}
+
+// New creates an empty network bound to s.
+func New(s *sim.Simulator) *Network {
+	return &Network{sim: s}
+}
+
+// Sim returns the owning simulator.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// AddHost creates a host. Its handler may be set later.
+func (n *Network) AddHost() *Host {
+	h := &Host{ID: NodeID(len(n.hosts)), net: n}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// Host returns the host with the given ID.
+func (n *Network) Host(id NodeID) *Host { return n.hosts[int(id)] }
+
+// Hosts returns all hosts.
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// AddSwitch creates a switch.
+func (n *Network) AddSwitch() *Switch {
+	sw := &Switch{
+		id:     len(n.switches),
+		net:    n,
+		salt:   mix64(uint64(len(n.switches))*0x9e3779b97f4a7c15 + 1),
+		routes: make(map[NodeID][]*Port),
+	}
+	n.switches = append(n.switches, sw)
+	return sw
+}
+
+// AttachHost wires host h to switch sw with symmetric link config, and
+// installs the direct route sw -> h. Returns the downlink port (sw -> h) so
+// callers can impair the "forward direction" of a path.
+func (n *Network) AttachHost(h *Host, sw *Switch, cfg LinkConfig) *Port {
+	up := newPort(n.sim, fmt.Sprintf("h%d->sw%d", h.ID, sw.id), cfg, sw)
+	down := newPort(n.sim, fmt.Sprintf("sw%d->h%d", sw.id, h.ID), cfg, h)
+	h.uplink = up
+	sw.addRoute(h.ID, down)
+	return down
+}
+
+// ConnectSwitches creates a bidirectional inter-switch link and returns the
+// two directed ports (a->b, b->a). Routes must be installed by the caller
+// (or by a topology builder).
+func (n *Network) ConnectSwitches(a, b *Switch, cfg LinkConfig) (ab, ba *Port) {
+	ab = newPort(n.sim, fmt.Sprintf("sw%d->sw%d", a.id, b.id), cfg, b)
+	ba = newPort(n.sim, fmt.Sprintf("sw%d->sw%d", b.id, a.id), cfg, a)
+	return ab, ba
+}

@@ -1,0 +1,296 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+var testLink = LinkConfig{GbpsRate: 100, PropDelay: time.Microsecond}
+
+func TestPointToPointDelivery(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := PointToPoint(s, testLink)
+	var got *Frame
+	var at sim.Time
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) {
+		got = f
+		at = s.Now()
+	}))
+	topo.Hosts[0].Send(&Frame{Dst: 1, Size: 1500, Payload: "hi"})
+	s.Run()
+	if got == nil {
+		t.Fatal("frame not delivered")
+	}
+	if got.Src != 0 || got.Payload != "hi" || got.Hops != 1 {
+		t.Fatalf("frame = %+v", got)
+	}
+	// Two serializations (host->sw, sw->host) at 100Gbps: 1500B = 120ns
+	// each, plus 2x1us propagation.
+	want := sim.Time(2*120 + 2000)
+	if at != want {
+		t.Fatalf("delivered at %v, want %v", at, want)
+	}
+}
+
+func TestSerializationQueueing(t *testing.T) {
+	// Two frames sent back-to-back: the second must wait for the first's
+	// serialization on the shared uplink.
+	s := sim.New(1)
+	topo, _ := PointToPoint(s, testLink)
+	var times []sim.Time
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) { times = append(times, s.Now()) }))
+	topo.Hosts[0].Send(&Frame{Dst: 1, Size: 1500})
+	topo.Hosts[0].Send(&Frame{Dst: 1, Size: 1500})
+	s.Run()
+	if len(times) != 2 {
+		t.Fatalf("delivered %d frames", len(times))
+	}
+	if gap := times[1] - times[0]; gap != 120 {
+		t.Fatalf("inter-arrival %v, want 120ns (one serialization)", gap)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	s := sim.New(1)
+	link := LinkConfig{GbpsRate: 1, PropDelay: time.Microsecond, QueueBytes: 3000}
+	topo, _ := PointToPoint(s, link)
+	delivered := 0
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) { delivered++ }))
+	for i := 0; i < 10; i++ {
+		topo.Hosts[0].Send(&Frame{Dst: 1, Size: 1500})
+	}
+	s.Run()
+	up := topo.Hosts[0].Uplink()
+	if up.Stats.QueueDrops == 0 {
+		t.Fatal("expected queue drops")
+	}
+	if delivered+int(up.Stats.QueueDrops) != 10 {
+		t.Fatalf("delivered %d + drops %d != 10", delivered, up.Stats.QueueDrops)
+	}
+}
+
+func TestRandomDrop(t *testing.T) {
+	s := sim.New(42)
+	topo, fwd := PointToPoint(s, testLink)
+	fwd.SetDropProb(0.5)
+	delivered := 0
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) { delivered++ }))
+	const n = 2000
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(sim.Time(i)*1000, func() {
+			topo.Hosts[0].Send(&Frame{Dst: 1, Size: 64})
+		})
+	}
+	s.Run()
+	if delivered < n*40/100 || delivered > n*60/100 {
+		t.Fatalf("delivered %d of %d with 50%% drop", delivered, n)
+	}
+	if fwd.Stats.RandomDrops+uint64(delivered) != n {
+		t.Fatalf("drops %d + delivered %d != %d", fwd.Stats.RandomDrops, delivered, n)
+	}
+}
+
+func TestReorderInjection(t *testing.T) {
+	s := sim.New(7)
+	topo, fwd := PointToPoint(s, testLink)
+	fwd.SetReorder(0.3, 20*time.Microsecond)
+	var order []int
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) { order = append(order, f.Payload.(int)) }))
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		s.At(sim.Time(i)*2000, func() {
+			topo.Hosts[0].Send(&Frame{Dst: 1, Size: 64, Payload: i})
+		})
+	}
+	s.Run()
+	if len(order) != n {
+		t.Fatalf("delivered %d", len(order))
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("expected reordering with 30% reorder prob")
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	s := sim.New(1)
+	topo, fwd := PointToPoint(s, testLink)
+	fwd.SetDown(true)
+	delivered := 0
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) { delivered++ }))
+	topo.Hosts[0].Send(&Frame{Dst: 1, Size: 64})
+	s.Run()
+	if delivered != 0 {
+		t.Fatal("frame delivered over a down link")
+	}
+	fwd.SetDown(false)
+	topo.Hosts[0].Send(&Frame{Dst: 1, Size: 64})
+	s.Run()
+	if delivered != 1 {
+		t.Fatal("frame not delivered after link restore")
+	}
+}
+
+func TestRateChange(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := PointToPoint(s, LinkConfig{GbpsRate: 100, PropDelay: 0})
+	var at sim.Time
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) { at = s.Now() }))
+	topo.Hosts[0].Uplink().SetRateGbps(10) // 10x slower
+	topo.Hosts[0].Send(&Frame{Dst: 1, Size: 1000})
+	s.Run()
+	// 1000B at 10Gbps = 800ns, then 1000B at 100Gbps = 80ns.
+	if at != 880 {
+		t.Fatalf("delivered at %v, want 880ns", at)
+	}
+}
+
+func TestStarIncastConvergesAtBottleneck(t *testing.T) {
+	s := sim.New(1)
+	topo := Star(s, 5, testLink)
+	server := topo.Hosts[0]
+	delivered := 0
+	server.SetHandler(HandlerFunc(func(f *Frame) { delivered++ }))
+	for _, h := range topo.Hosts[1:] {
+		for i := 0; i < 10; i++ {
+			h.Send(&Frame{Dst: server.ID, Size: 1500})
+		}
+	}
+	s.Run()
+	if delivered != 40 {
+		t.Fatalf("delivered %d, want 40", delivered)
+	}
+	// The bottleneck is the switch->server port.
+	down := topo.ToRs[0].RouteTo(server.ID)[0]
+	if down.Stats.MaxQueueBytes < 1500*10 {
+		t.Fatalf("bottleneck queue max %d, expected buildup", down.Stats.MaxQueueBytes)
+	}
+}
+
+func TestClosECMPSpreadsFlows(t *testing.T) {
+	s := sim.New(1)
+	fabric := LinkConfig{GbpsRate: 100, PropDelay: 2 * time.Microsecond}
+	topo := TwoRack(s, 4, 4, testLink, fabric)
+	dst := topo.Hosts[4] // other rack
+	delivered := 0
+	dst.SetHandler(HandlerFunc(func(f *Frame) { delivered++ }))
+	// Send 64 flows with distinct hashes; they should spread over spines.
+	for hash := uint64(0); hash < 64; hash++ {
+		topo.Hosts[0].Send(&Frame{Dst: dst.ID, Size: 1500, FlowHash: hash})
+	}
+	s.Run()
+	if delivered != 64 {
+		t.Fatalf("delivered %d, want 64", delivered)
+	}
+	used := 0
+	for _, spine := range topo.Spines {
+		if spine.RxFrames > 0 {
+			used++
+		}
+	}
+	if used < 3 {
+		t.Fatalf("only %d of 4 spines used; ECMP not spreading", used)
+	}
+}
+
+func TestClosIntraRackStaysLocal(t *testing.T) {
+	s := sim.New(1)
+	topo := TwoRack(s, 4, 2, testLink, testLink)
+	delivered := false
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) { delivered = true }))
+	topo.Hosts[0].Send(&Frame{Dst: 1, Size: 100})
+	s.Run()
+	if !delivered {
+		t.Fatal("intra-rack frame lost")
+	}
+	for _, spine := range topo.Spines {
+		if spine.RxFrames != 0 {
+			t.Fatal("intra-rack traffic traversed a spine")
+		}
+	}
+}
+
+func TestSameHashSamePath(t *testing.T) {
+	s := sim.New(1)
+	topo := TwoRack(s, 2, 4, testLink, testLink)
+	dst := topo.Hosts[2]
+	dst.SetHandler(HandlerFunc(func(f *Frame) {}))
+	for i := 0; i < 50; i++ {
+		topo.Hosts[0].Send(&Frame{Dst: dst.ID, Size: 100, FlowHash: 0xabcdef})
+	}
+	s.Run()
+	used := 0
+	for _, spine := range topo.Spines {
+		if spine.RxFrames > 0 {
+			used++
+		}
+	}
+	if used != 1 {
+		t.Fatalf("same-hash flow used %d spines, want 1", used)
+	}
+}
+
+func TestQueueDelayReflectsBacklog(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := PointToPoint(s, LinkConfig{GbpsRate: 1, PropDelay: 0})
+	up := topo.Hosts[0].Uplink()
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) {}))
+	topo.Hosts[0].Send(&Frame{Dst: 1, Size: 1000}) // 8us serialization at 1Gbps
+	if d := up.QueueDelay(); d != 8*time.Microsecond {
+		t.Fatalf("QueueDelay = %v, want 8us", d)
+	}
+	s.Run()
+	if d := up.QueueDelay(); d != 0 {
+		t.Fatalf("QueueDelay after drain = %v", d)
+	}
+}
+
+func TestHopCount(t *testing.T) {
+	s := sim.New(1)
+	topo := TwoRack(s, 2, 2, testLink, testLink)
+	var hops int
+	topo.Hosts[2].SetHandler(HandlerFunc(func(f *Frame) { hops = f.Hops }))
+	topo.Hosts[0].Send(&Frame{Dst: 2, Size: 100})
+	s.Run()
+	if hops != 3 { // ToR, spine, ToR
+		t.Fatalf("hops = %d, want 3", hops)
+	}
+}
+
+func TestECNMarkingBeyondThreshold(t *testing.T) {
+	s := sim.New(1)
+	link := LinkConfig{GbpsRate: 1, PropDelay: 0, QueueBytes: 1 << 20}
+	topo, _ := PointToPoint(s, link)
+	up := topo.Hosts[0].Uplink()
+	up.SetECNThreshold(3000)
+	var marked, clean int
+	topo.Hosts[1].SetHandler(HandlerFunc(func(f *Frame) {
+		if f.CE {
+			marked++
+		} else {
+			clean++
+		}
+	}))
+	for i := 0; i < 10; i++ {
+		topo.Hosts[0].Send(&Frame{Dst: 1, Size: 1500})
+	}
+	s.Run()
+	if marked == 0 {
+		t.Fatal("no frames ECN-marked despite queue buildup")
+	}
+	if clean == 0 {
+		t.Fatal("early frames (below threshold) should not be marked")
+	}
+	if up.Stats.ECNMarks != uint64(marked) {
+		t.Fatalf("ECNMarks stat %d != %d delivered marks", up.Stats.ECNMarks, marked)
+	}
+}

@@ -1,0 +1,283 @@
+// Package nic models the Falcon hardware pipeline constraints of §5: the
+// packet-processing pipeline that bounds op rate (per-connection and
+// aggregate), the connection-state cache whose misses dominate latency at
+// high connection counts (Figure 21), and the host interface (PCIe) whose
+// bandwidth bounds delivery to host memory and backs up the RX packet
+// buffer (Figure 14).
+//
+// The model is deliberately simple: each packet pass through the NIC incurs
+// a start time constrained by per-connection and global pipeline
+// availability plus a connection-cache lookup cost. The same model serves
+// the RoCE baseline with different constants (host-memory connection state
+// instead of on-NIC DRAM).
+package nic
+
+import (
+	"container/list"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// Config parameterizes the NIC model.
+type Config struct {
+	// PerConnPacketInterval is the pipeline's per-connection
+	// serialization: one connection cannot process packets faster than
+	// one per interval (25ns ≈ 20M 2-packet ops/s on one QP).
+	PerConnPacketInterval time.Duration
+	// GlobalPacketInterval is the aggregate pipeline limit across all
+	// connections (~4.2ns ≈ 120M 2-packet ops/s).
+	GlobalPacketInterval time.Duration
+
+	// Connection-state cache hierarchy (§5.2 "Connection State Caching").
+	CacheSize   int           // on-chip first-level entries
+	L2CacheSize int           // shared second-level entries
+	HitCost     time.Duration // first-level hit
+	L2HitCost   time.Duration // second-level hit
+	MissCost    time.Duration // backing store (on-NIC DRAM or host memory)
+
+	// HostGbps is the host interface (PCIe) bandwidth for payload
+	// delivery to memory.
+	HostGbps float64
+	// RxBufferBytes is the on-chip RX packet buffer (O(BDP), §5.2);
+	// payload awaiting host delivery occupies it. Overflow spills to
+	// on-NIC DRAM (allowed, with extra latency) rather than dropping.
+	RxBufferBytes int
+	// DRAMSpillLatency is added to host delivery for bytes that spilled.
+	DRAMSpillLatency time.Duration
+}
+
+// DefaultConfig models the 200G Falcon IPU.
+func DefaultConfig() Config {
+	return Config{
+		PerConnPacketInterval: 25 * time.Nanosecond,
+		GlobalPacketInterval:  4 * time.Nanosecond,
+		CacheSize:             16 << 10,
+		L2CacheSize:           128 << 10,
+		HitCost:               5 * time.Nanosecond,
+		L2HitCost:             40 * time.Nanosecond,
+		MissCost:              250 * time.Nanosecond, // on-NIC DRAM
+		HostGbps:              200,
+		RxBufferBytes:         1280 << 10, // 1.25MB ≈ BDP at 200G, 50us
+		DRAMSpillLatency:      500 * time.Nanosecond,
+	}
+}
+
+// CX7LikeConfig models a conventional RNIC whose connection state lives in
+// host memory: far costlier misses (Figure 21's ~3x RTT cliff).
+func CX7LikeConfig() Config {
+	cfg := DefaultConfig()
+	cfg.CacheSize = 8 << 10
+	cfg.L2CacheSize = 0
+	cfg.MissCost = 1200 * time.Nanosecond // host memory over PCIe
+	return cfg
+}
+
+// Stats counts NIC-level activity.
+type Stats struct {
+	PacketsProcessed uint64
+	CacheHits        uint64
+	L2Hits           uint64
+	CacheMisses      uint64
+	HostBytes        uint64
+	SpilledBytes     uint64
+	MaxRxOccupancy   float64
+	// GlobalWait and ConnWait attribute pipeline admission delay to the
+	// aggregate pipe vs per-connection serialization (diagnostics).
+	GlobalWait time.Duration
+	ConnWait   time.Duration
+}
+
+// NIC is one NIC instance's pipeline model.
+type NIC struct {
+	sim *sim.Simulator
+	cfg Config
+
+	globalFree sim.Time
+	connFree   map[uint32]sim.Time
+	// connDone enforces in-order completion per connection: a cheap
+	// lookup must not let a later packet finish before an earlier one.
+	connDone map[uint32]sim.Time
+
+	cache   *connCache
+	l2cache *connCache
+
+	// Host interface state.
+	hostFree  sim.Time
+	rxQueued  int // bytes awaiting host delivery
+	rxSpilled int // bytes currently spilled to DRAM
+
+	Stats Stats
+}
+
+// New creates a NIC bound to the simulator.
+func New(s *sim.Simulator, cfg Config) *NIC {
+	n := &NIC{sim: s, cfg: cfg, connFree: make(map[uint32]sim.Time), connDone: make(map[uint32]sim.Time)}
+	if cfg.CacheSize > 0 {
+		n.cache = newConnCache(cfg.CacheSize)
+	}
+	if cfg.L2CacheSize > 0 {
+		n.l2cache = newConnCache(cfg.L2CacheSize)
+	}
+	return n
+}
+
+// lookupCost models the connection-state fetch for one packet.
+func (n *NIC) lookupCost(conn uint32) time.Duration {
+	if n.cache == nil {
+		return n.cfg.HitCost
+	}
+	if n.cache.touch(conn) {
+		n.Stats.CacheHits++
+		return n.cfg.HitCost
+	}
+	if n.l2cache != nil && n.l2cache.touch(conn) {
+		n.Stats.L2Hits++
+		n.cache.insert(conn)
+		return n.cfg.L2HitCost
+	}
+	n.Stats.CacheMisses++
+	n.cache.insert(conn)
+	if n.l2cache != nil {
+		n.l2cache.insert(conn)
+	}
+	return n.cfg.MissCost
+}
+
+// Process schedules fn after the NIC pipeline has processed one packet for
+// conn: per-connection and global serialization plus the connection-state
+// lookup. Used for both TX and RX passes.
+func (n *NIC) Process(conn uint32, fn func()) {
+	now := n.sim.Now()
+	// The global pipe admits packets at its own cadence; a connection
+	// whose private pipeline is busy must not hold the global cursor
+	// back (or, worse, drag it forward to its own future readiness).
+	gStart := now
+	if n.globalFree > gStart {
+		n.Stats.GlobalWait += n.globalFree.Sub(gStart)
+		gStart = n.globalFree
+	}
+	n.globalFree = gStart.Add(n.cfg.GlobalPacketInterval)
+	// Per-connection serialization applies after global admission.
+	start := gStart
+	if cf := n.connFree[conn]; cf > start {
+		n.Stats.ConnWait += cf.Sub(start)
+		start = cf
+	}
+	cost := n.lookupCost(conn)
+	done := start.Add(cost)
+	if prev := n.connDone[conn]; done < prev {
+		done = prev
+	}
+	n.connDone[conn] = done
+	n.connFree[conn] = start.Add(n.cfg.PerConnPacketInterval)
+	n.Stats.PacketsProcessed++
+	n.sim.At(done, fn)
+}
+
+// DeliverToHost models payload DMA to host memory at HostGbps. The bytes
+// occupy the RX packet buffer until drained; occupancy beyond the SRAM
+// capacity spills to DRAM with extra latency but is never dropped (§5.2
+// "Falcon HW also allows packet buffers to overflow ... to external on-NIC
+// DRAM"). done fires when the payload has landed in host memory.
+func (n *NIC) DeliverToHost(bytes int, done func()) {
+	if bytes <= 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	now := n.sim.Now()
+	n.rxQueued += bytes
+	spilled := false
+	if n.rxQueued > n.cfg.RxBufferBytes {
+		spilled = true
+		n.rxSpilled += bytes
+		n.Stats.SpilledBytes += uint64(bytes)
+	}
+	if occ := n.RxOccupancy(); occ > n.Stats.MaxRxOccupancy {
+		n.Stats.MaxRxOccupancy = occ
+	}
+	start := now
+	if n.hostFree > start {
+		start = n.hostFree
+	}
+	drain := time.Duration(float64(bytes) * 8 / n.cfg.HostGbps) // ns
+	finish := start.Add(drain)
+	if spilled {
+		finish = finish.Add(n.cfg.DRAMSpillLatency)
+	}
+	n.hostFree = finish
+	n.Stats.HostBytes += uint64(bytes)
+	n.sim.At(finish, func() {
+		n.rxQueued -= bytes
+		if spilled {
+			n.rxSpilled -= bytes
+		}
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// RxOccupancy returns the RX packet-buffer occupancy as a fraction of SRAM
+// capacity, clamped to 1 (spilled bytes keep it pinned at 1). This is the
+// ncwnd congestion signal.
+func (n *NIC) RxOccupancy() float64 {
+	if n.cfg.RxBufferBytes <= 0 {
+		return 0
+	}
+	occ := float64(n.rxQueued) / float64(n.cfg.RxBufferBytes)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}
+
+// SetHostGbps changes host-interface bandwidth at runtime (the PCIe
+// downgrade of Figure 14).
+func (n *NIC) SetHostGbps(gbps float64) {
+	if gbps <= 0 {
+		panic("nic: host bandwidth must be positive")
+	}
+	n.cfg.HostGbps = gbps
+}
+
+// HostGbps returns the current host-interface bandwidth.
+func (n *NIC) HostGbps() float64 { return n.cfg.HostGbps }
+
+// connCache is an LRU set of connection IDs.
+type connCache struct {
+	capacity int
+	ll       *list.List
+	items    map[uint32]*list.Element
+}
+
+func newConnCache(capacity int) *connCache {
+	return &connCache{capacity: capacity, ll: list.New(), items: make(map[uint32]*list.Element)}
+}
+
+// touch reports whether conn is cached, refreshing recency.
+func (c *connCache) touch(conn uint32) bool {
+	if el, ok := c.items[conn]; ok {
+		c.ll.MoveToFront(el)
+		return true
+	}
+	return false
+}
+
+// insert adds conn, evicting the LRU entry if needed.
+func (c *connCache) insert(conn uint32) {
+	if el, ok := c.items[conn]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		back := c.ll.Back()
+		if back != nil {
+			c.ll.Remove(back)
+			delete(c.items, back.Value.(uint32))
+		}
+	}
+	c.items[conn] = c.ll.PushFront(conn)
+}

@@ -1,0 +1,247 @@
+package nic
+
+import (
+	"testing"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+func TestPerConnSerialization(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.PerConnPacketInterval = 50 * time.Nanosecond
+	cfg.GlobalPacketInterval = time.Nanosecond
+	cfg.HitCost = 0
+	cfg.MissCost = 0
+	cfg.L2HitCost = 0
+	n := New(s, cfg)
+	var times []sim.Time
+	for i := 0; i < 10; i++ {
+		n.Process(1, func() { times = append(times, s.Now()) })
+	}
+	s.Run()
+	if len(times) != 10 {
+		t.Fatalf("processed %d", len(times))
+	}
+	// Back-to-back packets on one conn are spaced by the per-conn
+	// interval.
+	for i := 1; i < len(times); i++ {
+		if gap := times[i] - times[i-1]; gap < 50 {
+			t.Fatalf("per-conn gap %dns < 50ns", gap)
+		}
+	}
+}
+
+func TestGlobalPipelineAggregates(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.PerConnPacketInterval = 50 * time.Nanosecond
+	cfg.GlobalPacketInterval = 10 * time.Nanosecond
+	cfg.HitCost = 0
+	cfg.MissCost = 0
+	cfg.L2HitCost = 0
+	n := New(s, cfg)
+	done := 0
+	// 10 connections, one packet each: global interval binds (10ns
+	// apart), not the per-conn 50ns.
+	for i := 0; i < 10; i++ {
+		n.Process(uint32(i), func() { done++ })
+	}
+	s.Run()
+	if done != 10 {
+		t.Fatalf("processed %d", done)
+	}
+	// Last start at 9*10ns.
+	if s.Now() > 200 {
+		t.Fatalf("took %v; global pipeline not aggregating", s.Now())
+	}
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.CacheSize = 4
+	cfg.L2CacheSize = 0
+	n := New(s, cfg)
+	// 4 conns fit; repeated access hits.
+	for round := 0; round < 3; round++ {
+		for c := uint32(0); c < 4; c++ {
+			n.Process(c, func() {})
+		}
+	}
+	s.Run()
+	if n.Stats.CacheMisses != 4 {
+		t.Fatalf("misses = %d, want 4 (compulsory)", n.Stats.CacheMisses)
+	}
+	if n.Stats.CacheHits != 8 {
+		t.Fatalf("hits = %d, want 8", n.Stats.CacheHits)
+	}
+}
+
+func TestCacheThrashingAtScale(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.CacheSize = 8
+	cfg.L2CacheSize = 0
+	n := New(s, cfg)
+	// Cycle 100 conns LRU-adversarially: every access misses after warmup.
+	for round := 0; round < 3; round++ {
+		for c := uint32(0); c < 100; c++ {
+			n.Process(c, func() {})
+		}
+	}
+	s.Run()
+	if n.Stats.CacheHits != 0 {
+		t.Fatalf("hits = %d in an LRU-adversarial cycle", n.Stats.CacheHits)
+	}
+}
+
+func TestL2CacheCatchesL1Evictions(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.CacheSize = 4
+	cfg.L2CacheSize = 1024
+	n := New(s, cfg)
+	for round := 0; round < 2; round++ {
+		for c := uint32(0); c < 100; c++ {
+			n.Process(c, func() {})
+		}
+	}
+	s.Run()
+	if n.Stats.L2Hits == 0 {
+		t.Fatal("L2 never hit")
+	}
+	if n.Stats.CacheMisses != 100 {
+		t.Fatalf("misses = %d, want 100 compulsory only", n.Stats.CacheMisses)
+	}
+}
+
+func TestMissCostSlowsProcessing(t *testing.T) {
+	mkRun := func(cacheSize int) sim.Time {
+		s := sim.New(1)
+		cfg := DefaultConfig()
+		cfg.CacheSize = cacheSize
+		cfg.L2CacheSize = 0
+		cfg.PerConnPacketInterval = time.Nanosecond
+		cfg.GlobalPacketInterval = time.Nanosecond
+		n := New(s, cfg)
+		var last sim.Time
+		for round := 0; round < 5; round++ {
+			for c := uint32(0); c < 64; c++ {
+				n.Process(c, func() { last = s.Now() })
+			}
+		}
+		s.Run()
+		return last
+	}
+	hot := mkRun(128) // all hits after warmup
+	cold := mkRun(8)  // all misses
+	if cold <= hot {
+		t.Fatalf("cold cache (%v) should be slower than hot (%v)", cold, hot)
+	}
+}
+
+func TestHostDeliveryBandwidth(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.HostGbps = 100
+	n := New(s, cfg)
+	var doneAt sim.Time
+	n.DeliverToHost(125000, func() { doneAt = s.Now() }) // 1Mbit at 100Gbps = 10us
+	s.Run()
+	if doneAt != sim.Time(10*time.Microsecond) {
+		t.Fatalf("drained at %v, want 10us", doneAt)
+	}
+}
+
+func TestHostBackpressureRaisesOccupancy(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.HostGbps = 1 // very slow host
+	cfg.RxBufferBytes = 100_000
+	n := New(s, cfg)
+	for i := 0; i < 10; i++ {
+		n.DeliverToHost(10_000, nil)
+	}
+	if occ := n.RxOccupancy(); occ < 0.99 {
+		t.Fatalf("occupancy %v with full backlog", occ)
+	}
+	s.Run()
+	if occ := n.RxOccupancy(); occ != 0 {
+		t.Fatalf("occupancy %v after drain", occ)
+	}
+}
+
+func TestSpillToDRAMNeverDrops(t *testing.T) {
+	s := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.HostGbps = 1
+	cfg.RxBufferBytes = 10_000
+	n := New(s, cfg)
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		n.DeliverToHost(5_000, func() { delivered++ })
+	}
+	s.Run()
+	if delivered != 10 {
+		t.Fatalf("delivered %d of 10 despite spill", delivered)
+	}
+	if n.Stats.SpilledBytes == 0 {
+		t.Fatal("expected DRAM spill")
+	}
+}
+
+func TestSetHostGbps(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultConfig())
+	n.SetHostGbps(100)
+	if n.HostGbps() != 100 {
+		t.Fatal("SetHostGbps did not apply")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive bandwidth")
+		}
+	}()
+	n.SetHostGbps(0)
+}
+
+func TestZeroByteHostDelivery(t *testing.T) {
+	s := sim.New(1)
+	n := New(s, DefaultConfig())
+	called := false
+	n.DeliverToHost(0, func() { called = true })
+	if !called {
+		t.Fatal("zero-byte delivery should complete immediately")
+	}
+	_ = s
+}
+
+func TestCX7ConfigMissesCostMore(t *testing.T) {
+	f := DefaultConfig()
+	c := CX7LikeConfig()
+	if c.MissCost <= f.MissCost {
+		t.Fatal("CX-7 host-memory miss should cost more than Falcon on-NIC DRAM")
+	}
+	if c.L2CacheSize != 0 {
+		t.Fatal("CX-7 model has no shared second-level cache")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newConnCache(2)
+	c.insert(1)
+	c.insert(2)
+	c.insert(3) // evicts 1
+	if c.touch(1) {
+		t.Fatal("1 should be evicted")
+	}
+	if !c.touch(2) || !c.touch(3) {
+		t.Fatal("2 and 3 should be cached")
+	}
+	c.insert(4) // after touching 2 then 3, LRU is 2
+	if c.touch(2) {
+		t.Fatal("2 should be evicted")
+	}
+}

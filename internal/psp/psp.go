@@ -1,0 +1,199 @@
+// Package psp implements the PSP-style inline encryption layer Falcon can
+// run over (§3.1: "Falcon can utilize protocols such as the PSP Security
+// Protocol or IP-SEC for authentication and encryption"; §5.1: the inline
+// encryption block also carries the wire timestamp in the IV field).
+//
+// The model follows the open PSP spec's shape: per-connection (per-SA)
+// AES-GCM with a master-key-derived data key, an 8-byte IV carried in the
+// PSP header, and authenticated-but-cleartext header fields the fabric
+// needs (the crypt-offset region). As in the Falcon hardware, the wire
+// transmit timestamp rides in the IV, which is how the NIC timestamps
+// packets "close to the Ethernet port" without a separate trailer.
+//
+// Everything is real crypto from the standard library — an encrypted
+// falcon-over-UDP bearer can use this as is.
+package psp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// KeyLen is the AES-256 data-key length.
+const KeyLen = 32
+
+// headerLen is the PSP header prepended to each encrypted packet:
+// SPI (4) + IV (8) + crypt-offset (2) + reserved (2).
+const headerLen = 16
+
+// tagLen is the AES-GCM authentication tag length.
+const tagLen = 16
+
+// Overhead is the total per-packet expansion: header plus GCM tag.
+const Overhead = headerLen + tagLen
+
+// ErrAuth reports an authentication failure (tampered or corrupt packet).
+var ErrAuth = errors.New("psp: authentication failed")
+
+// ErrShort reports a truncated PSP packet.
+var ErrShort = errors.New("psp: packet shorter than PSP header+tag")
+
+// ErrReplay reports an IV at or below the anti-replay horizon.
+var ErrReplay = errors.New("psp: replayed or stale IV")
+
+// DeriveKey derives a per-SA data key from a device master key and the
+// security parameter index, PSP-style (the spec uses a KDF keyed by the
+// master key so the device never stores per-connection keys).
+func DeriveKey(masterKey []byte, spi uint32) [KeyLen]byte {
+	mac := hmac.New(sha256.New, masterKey)
+	var buf [8]byte
+	binary.BigEndian.PutUint32(buf[:4], spi)
+	copy(buf[4:], "PSPv")
+	mac.Write(buf[:])
+	var out [KeyLen]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// SA is one security association (one direction of one connection).
+type SA struct {
+	spi  uint32
+	aead cipher.AEAD
+
+	// nextIV is the transmit IV counter. PSP IVs are unique per SA; the
+	// Falcon integration sets the IV to the wire transmit timestamp,
+	// which is strictly monotonic per SA at nanosecond granularity —
+	// Seal enforces monotonicity either way.
+	nextIV uint64
+
+	// replayHorizon is the receive-side anti-replay floor: IVs must be
+	// strictly increasing. (The real spec uses a window; a floor
+	// suffices for an in-order bearer and is strict for testing.)
+	replayHorizon uint64
+	// ReplayWindowDisabled turns off receive-side replay checks for
+	// bearers that reorder packets (the Falcon PDL tolerates reordering
+	// above this layer).
+	ReplayWindowDisabled bool
+
+	// Stats
+	Sealed, Opened, AuthFails, Replays uint64
+}
+
+// NewSA creates a security association for spi using a key derived from
+// masterKey.
+func NewSA(masterKey []byte, spi uint32) (*SA, error) {
+	key := DeriveKey(masterKey, spi)
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("psp: %w", err)
+	}
+	aead, err := cipher.NewGCMWithNonceSize(block, 12)
+	if err != nil {
+		return nil, fmt.Errorf("psp: %w", err)
+	}
+	return &SA{spi: spi, aead: aead, nextIV: 1}, nil
+}
+
+// SPI returns the security parameter index.
+func (sa *SA) SPI() uint32 { return sa.spi }
+
+// nonce builds the 12-byte GCM nonce from the SPI and IV.
+func (sa *SA) nonce(iv uint64) []byte {
+	n := make([]byte, 12)
+	binary.BigEndian.PutUint32(n, sa.spi)
+	binary.BigEndian.PutUint64(n[4:], iv)
+	return n
+}
+
+// Seal encrypts plaintext into a PSP packet: the first cryptOffset bytes
+// remain cleartext (authenticated as associated data — the transport
+// header the fabric must read), the rest is encrypted. iv is typically the
+// wire transmit timestamp; zero means "allocate the next counter value".
+// The result is header || cleartext || ciphertext+tag.
+func (sa *SA) Seal(plaintext []byte, cryptOffset int, iv uint64) ([]byte, error) {
+	if cryptOffset < 0 || cryptOffset > len(plaintext) {
+		return nil, fmt.Errorf("psp: crypt offset %d out of range", cryptOffset)
+	}
+	if iv == 0 {
+		iv = sa.nextIV
+	}
+	if iv < sa.nextIV {
+		return nil, fmt.Errorf("psp: non-monotonic transmit IV %d (next %d)", iv, sa.nextIV)
+	}
+	sa.nextIV = iv + 1
+
+	hdr := make([]byte, headerLen, headerLen+len(plaintext)+tagLen)
+	binary.BigEndian.PutUint32(hdr, sa.spi)
+	binary.BigEndian.PutUint64(hdr[4:], iv)
+	binary.BigEndian.PutUint16(hdr[12:], uint16(cryptOffset))
+
+	clear := plaintext[:cryptOffset]
+	// Associated data: the PSP header plus the cleartext region.
+	ad := append(append([]byte{}, hdr...), clear...)
+	out := append(hdr, clear...)
+	out = sa.aead.Seal(out, sa.nonce(iv), plaintext[cryptOffset:], ad)
+	sa.Sealed++
+	return out, nil
+}
+
+// IV extracts the IV (wire timestamp) from a sealed packet without
+// decrypting — what the receive-side timestamping block does.
+func IV(packet []byte) (uint64, error) {
+	if len(packet) < headerLen {
+		return 0, ErrShort
+	}
+	return binary.BigEndian.Uint64(packet[4:]), nil
+}
+
+// SPIOf extracts the security parameter index from a sealed packet.
+func SPIOf(packet []byte) (uint32, error) {
+	if len(packet) < headerLen {
+		return 0, ErrShort
+	}
+	return binary.BigEndian.Uint32(packet), nil
+}
+
+// Open authenticates and decrypts a PSP packet, returning the recovered
+// plaintext and the IV (wire timestamp).
+func (sa *SA) Open(packet []byte) (plaintext []byte, iv uint64, err error) {
+	if len(packet) < headerLen+tagLen {
+		return nil, 0, ErrShort
+	}
+	spi := binary.BigEndian.Uint32(packet)
+	if spi != sa.spi {
+		return nil, 0, fmt.Errorf("psp: packet SPI %d does not match SA %d", spi, sa.spi)
+	}
+	iv = binary.BigEndian.Uint64(packet[4:])
+	cryptOffset := int(binary.BigEndian.Uint16(packet[12:]))
+	if headerLen+cryptOffset+tagLen > len(packet) {
+		return nil, 0, ErrShort
+	}
+	if !sa.ReplayWindowDisabled {
+		if iv <= sa.replayHorizon {
+			sa.Replays++
+			return nil, 0, ErrReplay
+		}
+	}
+	hdr := packet[:headerLen]
+	clear := packet[headerLen : headerLen+cryptOffset]
+	ct := packet[headerLen+cryptOffset:]
+	ad := append(append([]byte{}, hdr...), clear...)
+	body, err := sa.aead.Open(nil, sa.nonce(iv), ct, ad)
+	if err != nil {
+		sa.AuthFails++
+		return nil, 0, ErrAuth
+	}
+	if !sa.ReplayWindowDisabled && iv > sa.replayHorizon {
+		sa.replayHorizon = iv
+	}
+	sa.Opened++
+	out := make([]byte, 0, len(clear)+len(body))
+	out = append(out, clear...)
+	out = append(out, body...)
+	return out, iv, nil
+}

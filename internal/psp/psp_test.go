@@ -1,0 +1,265 @@
+package psp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+var master = []byte("falcon-device-master-key-0123456")
+
+func newTestSA(t *testing.T, spi uint32) *SA {
+	t.Helper()
+	sa, err := NewSA(master, spi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sa
+}
+
+// pair returns matched transmit/receive SAs (same key material).
+func pair(t *testing.T, spi uint32) (*SA, *SA) {
+	return newTestSA(t, spi), newTestSA(t, spi)
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	tx, rx := pair(t, 7)
+	pt := []byte("transport header|secret payload bytes")
+	sealed, err := tx.Seal(pt, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != len(pt)+Overhead {
+		t.Fatalf("sealed length %d, want %d", len(sealed), len(pt)+Overhead)
+	}
+	got, _, err := rx.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestCleartextRegionVisibleCiphertextNot(t *testing.T) {
+	tx, _ := pair(t, 7)
+	pt := []byte("HEADERHEADERHDR!secret-secret-secret")
+	sealed, err := tx.Seal(pt, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sealed[16:32], pt[:16]) {
+		t.Fatal("crypt-offset region should remain cleartext on the wire")
+	}
+	if bytes.Contains(sealed, []byte("secret")) {
+		t.Fatal("payload appears in cleartext")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	tx, rx := pair(t, 7)
+	sealed, _ := tx.Seal([]byte("some payload"), 4, 0)
+	for _, idx := range []int{0, 5, headerLen + 1, len(sealed) - 1} {
+		mutated := append([]byte{}, sealed...)
+		mutated[idx] ^= 0x40
+		if _, _, err := rx.Open(mutated); err == nil {
+			t.Fatalf("tamper at byte %d not detected", idx)
+		}
+	}
+	if rx.AuthFails == 0 {
+		t.Fatal("auth failures not counted")
+	}
+}
+
+func TestTamperedCleartextRejected(t *testing.T) {
+	// The cleartext region is authenticated as associated data.
+	tx, rx := pair(t, 7)
+	sealed, _ := tx.Seal([]byte("HDRHDRHDRHDRpayl"), 12, 0)
+	sealed[headerLen] ^= 1 // flip a cleartext header byte
+	if _, _, err := rx.Open(sealed); !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered cleartext: err = %v, want ErrAuth", err)
+	}
+}
+
+func TestWrongKeyFails(t *testing.T) {
+	tx := newTestSA(t, 7)
+	other, err := NewSA([]byte("a-completely-different-master-ke"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, _ := tx.Seal([]byte("payload"), 0, 0)
+	if _, _, err := other.Open(sealed); !errors.Is(err, ErrAuth) {
+		t.Fatalf("wrong key: err = %v, want ErrAuth", err)
+	}
+}
+
+func TestWrongSPIRejected(t *testing.T) {
+	tx := newTestSA(t, 7)
+	rx := newTestSA(t, 8)
+	sealed, _ := tx.Seal([]byte("payload"), 0, 0)
+	if _, _, err := rx.Open(sealed); err == nil {
+		t.Fatal("SPI mismatch accepted")
+	}
+}
+
+func TestIVCarriesTimestamp(t *testing.T) {
+	tx, rx := pair(t, 9)
+	const stamp = uint64(123456789012)
+	sealed, err := tx.Seal([]byte("data"), 0, stamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := IV(sealed)
+	if err != nil || iv != stamp {
+		t.Fatalf("IV = %d, %v; want %d", iv, err, stamp)
+	}
+	_, openedIV, err := rx.Open(sealed)
+	if err != nil || openedIV != stamp {
+		t.Fatalf("opened IV = %d, %v", openedIV, err)
+	}
+	if spi, _ := SPIOf(sealed); spi != 9 {
+		t.Fatalf("SPIOf = %d", spi)
+	}
+}
+
+func TestMonotonicIVEnforced(t *testing.T) {
+	tx := newTestSA(t, 7)
+	if _, err := tx.Seal([]byte("a"), 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Seal([]byte("b"), 0, 100); err == nil {
+		t.Fatal("reused transmit IV accepted")
+	}
+	if _, err := tx.Seal([]byte("c"), 0, 101); err != nil {
+		t.Fatalf("next IV rejected: %v", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	tx, rx := pair(t, 7)
+	s1, _ := tx.Seal([]byte("one"), 0, 0)
+	if _, _, err := rx.Open(s1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rx.Open(s1); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay: err = %v, want ErrReplay", err)
+	}
+	if rx.Replays != 1 {
+		t.Fatalf("replay count = %d", rx.Replays)
+	}
+}
+
+func TestReplayWindowDisabledForReorderingBearers(t *testing.T) {
+	tx, rx := pair(t, 7)
+	rx.ReplayWindowDisabled = true
+	s1, _ := tx.Seal([]byte("one"), 0, 10)
+	s2, _ := tx.Seal([]byte("two"), 0, 20)
+	if _, _, err := rx.Open(s2); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order arrival must still open when the window is off.
+	if _, _, err := rx.Open(s1); err != nil {
+		t.Fatalf("reordered packet rejected: %v", err)
+	}
+}
+
+func TestShortPacketErrors(t *testing.T) {
+	rx := newTestSA(t, 7)
+	if _, _, err := rx.Open(make([]byte, headerLen)); !errors.Is(err, ErrShort) {
+		t.Fatalf("short packet: %v", err)
+	}
+	if _, err := IV(make([]byte, 3)); !errors.Is(err, ErrShort) {
+		t.Fatalf("short IV: %v", err)
+	}
+	// Crypt offset pointing past the packet.
+	tx := newTestSA(t, 7)
+	sealed, _ := tx.Seal([]byte("abcd"), 2, 0)
+	sealed[13] = 0xFF // corrupt crypt offset to a huge value
+	if _, _, err := rx.Open(sealed); err == nil {
+		t.Fatal("oversized crypt offset accepted")
+	}
+}
+
+func TestCryptOffsetBounds(t *testing.T) {
+	tx := newTestSA(t, 7)
+	if _, err := tx.Seal([]byte("abc"), -1, 0); err == nil {
+		t.Fatal("negative crypt offset accepted")
+	}
+	if _, err := tx.Seal([]byte("abc"), 4, 0); err == nil {
+		t.Fatal("crypt offset past end accepted")
+	}
+	// Whole-packet cleartext (offset == len) is legal: authenticate only.
+	sealed, err := tx.Seal([]byte("abc"), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := newTestSA(t, 7)
+	got, _, err := rx.Open(sealed)
+	if err != nil || !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("authenticate-only packet: %q, %v", got, err)
+	}
+}
+
+func TestKeyDerivationDistinctPerSPI(t *testing.T) {
+	k1 := DeriveKey(master, 1)
+	k2 := DeriveKey(master, 2)
+	if k1 == k2 {
+		t.Fatal("different SPIs derived the same key")
+	}
+	if DeriveKey(master, 1) != k1 {
+		t.Fatal("derivation not deterministic")
+	}
+}
+
+// Property: seal/open round-trips arbitrary payloads at arbitrary valid
+// crypt offsets.
+func TestQuickRoundTrip(t *testing.T) {
+	tx, rx := pair(t, 3)
+	rx.ReplayWindowDisabled = true
+	f := func(payload []byte, off uint8) bool {
+		cryptOffset := 0
+		if len(payload) > 0 {
+			cryptOffset = int(off) % (len(payload) + 1)
+		}
+		sealed, err := tx.Seal(payload, cryptOffset, 0)
+		if err != nil {
+			return false
+		}
+		got, _, err := rx.Open(sealed)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSeal4KB(b *testing.B) {
+	sa, _ := NewSA(master, 1)
+	payload := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sa.Seal(payload, 64, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen4KB(b *testing.B) {
+	tx, _ := NewSA(master, 1)
+	rx, _ := NewSA(master, 1)
+	rx.ReplayWindowDisabled = true
+	payload := make([]byte, 4096)
+	sealed, _ := tx.Seal(payload, 64, 0)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := rx.Open(sealed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,474 @@
+// Package rdma is the RDMA ULP mapping layer of Figure 2: it exposes an IB
+// Verbs-flavoured API (RC queue pairs with WRITE, SEND/RECV, READ and
+// ATOMIC operations) and maps each operation onto Falcon transactions per
+// Table 2 — WRITE and SEND become Push transactions, READ and ATOMICs
+// become Pulls. Operations larger than one MTU are segmented into multiple
+// MTU-sized transactions (§4.4 "MTU Granularity"); ordered Falcon
+// connections provide the IB Verbs ordering the completions rely on.
+package rdma
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"falcon/internal/core"
+	"falcon/internal/falcon/tl"
+	"falcon/internal/falcon/wire"
+)
+
+// ULP op codes carried in wire.Packet.UlpOp.
+const (
+	opWrite uint8 = iota + 1
+	opSend
+	opRead
+	opCompSwap
+	opFetchAdd
+)
+
+// ErrAccess reports a memory access outside the registered region; the
+// target completes the transaction in error (CIE, §4.4 "Enhanced Error
+// Notifications") and the initiator's completion carries this error.
+var ErrAccess = errors.New("rdma: remote memory access out of bounds")
+
+// Completion is one work completion.
+type Completion struct {
+	// WRID is the caller-supplied work request ID.
+	WRID uint64
+	// Err is nil on success. Remote memory errors surface as tl.ErrCIE.
+	Err error
+	// Data holds READ results and prior values of ATOMICs (when the
+	// target registered backing bytes).
+	Data []byte
+}
+
+// Config parameterizes a QP.
+type Config struct {
+	// MTU bounds a single transaction (defaults to 4096).
+	MTU int
+	// RNRRetryDelay is advertised to senders when a SEND finds no
+	// posted receive.
+	RNRRetryDelay time.Duration
+	// WeaklyOrdered selects the iWARP model (§4.4): run over an
+	// *unordered* Falcon connection (out-of-order data placement) while
+	// the QP releases completions in work-request order. The underlying
+	// tl.Config should have Ordered=false; the QP provides the
+	// completion ordering itself.
+	WeaklyOrdered bool
+}
+
+// QP is a Reliable Connected queue pair bound to one Falcon endpoint.
+type QP struct {
+	ep  *core.Endpoint
+	cfg Config
+
+	// Registered memory region: remote WRITE/READ/ATOMIC target. mem may
+	// be nil for size-only simulations; bounds are checked against
+	// memLen either way.
+	mem    []byte
+	memLen uint64
+
+	// Posted receives for SEND messages.
+	recvQ []*recvBuffer
+	// cur is the receive consumed by the in-progress multi-segment SEND.
+	cur *recvBuffer
+
+	completions []Completion
+	onComplete  func(Completion)
+
+	// Weakly-ordered completion sequencing: ops are released to the
+	// application in post order even when they finish out of order.
+	nextSeq    uint64
+	releaseSeq uint64
+	held       map[uint64]heldCompletion
+
+	// Stats
+	RNRs uint64
+}
+
+type heldCompletion struct {
+	c    Completion
+	done func(Completion)
+}
+
+type recvBuffer struct {
+	buf  []byte
+	size int
+	got  int
+	done func(n int, err error)
+}
+
+// NewQP wraps a Falcon endpoint as an RC queue pair and installs the RDMA
+// target handler on it.
+func NewQP(ep *core.Endpoint, cfg Config) *QP {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 4096
+	}
+	if cfg.RNRRetryDelay <= 0 {
+		cfg.RNRRetryDelay = 50 * time.Microsecond
+	}
+	qp := &QP{ep: ep, cfg: cfg}
+	if cfg.WeaklyOrdered {
+		qp.held = make(map[uint64]heldCompletion)
+	}
+	ep.SetTarget((*target)(qp))
+	return qp
+}
+
+// Endpoint returns the underlying Falcon endpoint (stats access).
+func (qp *QP) Endpoint() *core.Endpoint { return qp.ep }
+
+// RegisterMemory registers buf as the QP's remotely accessible region.
+func (qp *QP) RegisterMemory(buf []byte) {
+	qp.mem = buf
+	qp.memLen = uint64(len(buf))
+}
+
+// RegisterMemoryLen registers an n-byte region without backing bytes
+// (size-only simulation: bounds checked, no data movement).
+func (qp *QP) RegisterMemoryLen(n uint64) {
+	qp.mem = nil
+	qp.memLen = n
+}
+
+// OnCompletion installs a completion callback; when unset, completions
+// accumulate for PollCQ.
+func (qp *QP) OnCompletion(fn func(Completion)) { qp.onComplete = fn }
+
+// PollCQ drains accumulated completions.
+func (qp *QP) PollCQ() []Completion {
+	out := qp.completions
+	qp.completions = nil
+	return out
+}
+
+// allocSeq assigns the op's position in the completion order.
+func (qp *QP) allocSeq() uint64 {
+	s := qp.nextSeq
+	qp.nextSeq++
+	return s
+}
+
+// deliver routes a completion to the application. In weakly-ordered mode
+// completions are buffered and released in post order.
+func (qp *QP) deliver(seq uint64, c Completion, done func(Completion)) {
+	if !qp.cfg.WeaklyOrdered {
+		qp.emit(c, done)
+		return
+	}
+	qp.held[seq] = heldCompletion{c: c, done: done}
+	for {
+		h, ok := qp.held[qp.releaseSeq]
+		if !ok {
+			return
+		}
+		delete(qp.held, qp.releaseSeq)
+		qp.releaseSeq++
+		qp.emit(h.c, h.done)
+	}
+}
+
+func (qp *QP) emit(c Completion, done func(Completion)) {
+	switch {
+	case done != nil:
+		done(c)
+	case qp.onComplete != nil:
+		qp.onComplete(c)
+	default:
+		qp.completions = append(qp.completions, c)
+	}
+}
+
+// segments splits n bytes into MTU-sized chunks (at least one).
+func (qp *QP) segments(n int) []int {
+	if n <= 0 {
+		return []int{0}
+	}
+	var out []int
+	for n > 0 {
+		c := n
+		if c > qp.cfg.MTU {
+			c = qp.cfg.MTU
+		}
+		out = append(out, c)
+		n -= c
+	}
+	return out
+}
+
+// retryDelay paces re-issuance of segments refused by TL backpressure.
+const retryDelay = 20 * time.Microsecond
+
+// Write posts an RDMA WRITE of data (or size bytes when data is nil) to
+// remote address addr: one Push per MTU segment, one completion for the
+// op. Segments refused by transaction-layer backpressure are re-issued as
+// resources free (the work request stays queued, like a real send queue),
+// so Write never fails mid-op.
+func (qp *QP) Write(wrid uint64, addr uint64, data []byte, size int, done func(Completion)) error {
+	if data != nil {
+		size = len(data)
+	}
+	segs := qp.segments(size)
+	seq := qp.allocSeq()
+	remaining := len(segs)
+	var firstErr error
+	segDone := func(_ []byte, err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			qp.deliver(seq, Completion{WRID: wrid, Err: firstErr}, done)
+		}
+	}
+	var issue func(i, off int)
+	issue = func(i, off int) {
+		for ; i < len(segs); i++ {
+			seg := segs[i]
+			var chunk []byte
+			if data != nil {
+				chunk = data[off : off+seg]
+			}
+			if _, err := qp.ep.TL().PushOp(opWrite, addr+uint64(off), chunk, uint32(seg), segDone); err != nil {
+				ri, ro := i, off
+				qp.ep.Sim().After(retryDelay, func() { issue(ri, ro) })
+				return
+			}
+			off += seg
+		}
+	}
+	issue(0, 0)
+	return nil
+}
+
+// Send posts an RDMA SEND of data/size bytes; the peer must have posted a
+// receive for the message. Multi-segment sends encode (total, offset) so
+// the target consumes exactly one receive per message.
+func (qp *QP) Send(wrid uint64, data []byte, size int, done func(Completion)) error {
+	if data != nil {
+		size = len(data)
+	}
+	segs := qp.segments(size)
+	seq := qp.allocSeq()
+	remaining := len(segs)
+	var firstErr error
+	segDone := func(_ []byte, err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			qp.deliver(seq, Completion{WRID: wrid, Err: firstErr}, done)
+		}
+	}
+	var issue func(i, off int)
+	issue = func(i, off int) {
+		for ; i < len(segs); i++ {
+			seg := segs[i]
+			var chunk []byte
+			if data != nil {
+				chunk = data[off : off+seg]
+			}
+			if _, err := qp.ep.TL().PushOp(opSend, sendMeta(size, off), chunk, uint32(seg), segDone); err != nil {
+				ri, ro := i, off
+				qp.ep.Sim().After(retryDelay, func() { issue(ri, ro) })
+				return
+			}
+			off += seg
+		}
+	}
+	issue(0, 0)
+	return nil
+}
+
+// sendMeta packs a SEND's total message size and segment offset into the
+// opaque Addr field (the ULP header a real stack would carry in-payload).
+func sendMeta(total, off int) uint64 { return uint64(total)<<32 | uint64(uint32(off)) }
+
+func splitSendMeta(meta uint64) (total, off int) {
+	return int(meta >> 32), int(uint32(meta))
+}
+
+// PostRecv posts a receive for one incoming SEND message of up to size
+// bytes. done fires when the full message has landed.
+func (qp *QP) PostRecv(buf []byte, size int, done func(n int, err error)) {
+	if buf != nil {
+		size = len(buf)
+	}
+	qp.recvQ = append(qp.recvQ, &recvBuffer{buf: buf, size: size, done: done})
+}
+
+// Read posts an RDMA READ of size bytes from remote addr: one Pull per MTU
+// segment; the completion carries the concatenated data when the peer has
+// backing memory.
+func (qp *QP) Read(wrid uint64, addr uint64, size int, done func(Completion)) error {
+	segs := qp.segments(size)
+	seq := qp.allocSeq()
+	chunks := make([][]byte, len(segs))
+	remaining := len(segs)
+	var firstErr error
+	haveData := true
+	segDone := func(i int) func([]byte, error) {
+		return func(data []byte, err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			if data == nil {
+				haveData = false
+			}
+			chunks[i] = data
+			remaining--
+			if remaining == 0 {
+				var full []byte
+				if haveData && firstErr == nil {
+					for _, c := range chunks {
+						full = append(full, c...)
+					}
+				}
+				qp.deliver(seq, Completion{WRID: wrid, Err: firstErr, Data: full}, done)
+			}
+		}
+	}
+	var issue func(i, off int)
+	issue = func(i, off int) {
+		for ; i < len(segs); i++ {
+			seg := segs[i]
+			if _, err := qp.ep.TL().PullOp(opRead, addr+uint64(off), uint32(seg), segDone(i)); err != nil {
+				ri, ro := i, off
+				qp.ep.Sim().After(retryDelay, func() { issue(ri, ro) })
+				return
+			}
+			off += seg
+		}
+	}
+	issue(0, 0)
+	return nil
+}
+
+// CompareSwap posts an 8-byte atomic compare-and-swap on remote addr. The
+// completion's Data holds the prior value when the peer has backing bytes.
+func (qp *QP) CompareSwap(wrid uint64, addr, compare, swap uint64, done func(Completion)) error {
+	operands := make([]byte, 16)
+	binary.BigEndian.PutUint64(operands, compare)
+	binary.BigEndian.PutUint64(operands[8:], swap)
+	return qp.atomic(wrid, opCompSwap, addr, operands, done)
+}
+
+// FetchAdd posts an 8-byte atomic fetch-and-add on remote addr.
+func (qp *QP) FetchAdd(wrid uint64, addr, add uint64, done func(Completion)) error {
+	operands := make([]byte, 8)
+	binary.BigEndian.PutUint64(operands, add)
+	return qp.atomic(wrid, opFetchAdd, addr, operands, done)
+}
+
+func (qp *QP) atomic(wrid uint64, op uint8, addr uint64, operands []byte, done func(Completion)) error {
+	// ATOMICs map to Pulls (Table 2); operands ride the request payload.
+	seq := qp.allocSeq()
+	_, err := qp.ep.TL().PullOpData(op, addr, operands, 8, func(data []byte, err error) {
+		qp.deliver(seq, Completion{WRID: wrid, Err: err, Data: data}, done)
+	})
+	return err
+}
+
+// target is the TL-facing receive side of the QP.
+type target QP
+
+var _ tl.TargetHandler = (*target)(nil)
+
+// HandlePush executes arriving WRITE and SEND transactions.
+func (t *target) HandlePush(rsn uint64, p *wire.Packet) tl.TargetVerdict {
+	qp := (*QP)(t)
+	switch p.UlpOp {
+	case opSend:
+		return qp.handleSend(p)
+	case opWrite, 0:
+		if p.Addr+uint64(p.Length) > qp.memLen {
+			return tl.TargetVerdict{Kind: tl.TargetError}
+		}
+		if qp.mem != nil && p.Data != nil {
+			copy(qp.mem[p.Addr:], p.Data)
+		}
+		return tl.TargetVerdict{}
+	default:
+		return tl.TargetVerdict{Kind: tl.TargetError}
+	}
+}
+
+func (qp *QP) handleSend(p *wire.Packet) tl.TargetVerdict {
+	total, off := splitSendMeta(p.Addr)
+	if off == 0 {
+		// New message: consume one posted receive.
+		if len(qp.recvQ) == 0 {
+			qp.RNRs++
+			return tl.TargetVerdict{Kind: tl.TargetRNR, RetryDelay: qp.cfg.RNRRetryDelay}
+		}
+		qp.cur = qp.recvQ[0]
+		qp.recvQ = qp.recvQ[1:]
+		qp.cur.got = 0
+	}
+	rb := qp.cur
+	if rb == nil {
+		// Mid-message segment with no active receive (duplicate RNR
+		// retry tail): drop benignly.
+		return tl.TargetVerdict{}
+	}
+	if off+int(p.Length) > rb.size {
+		return tl.TargetVerdict{Kind: tl.TargetError}
+	}
+	if rb.buf != nil && p.Data != nil {
+		copy(rb.buf[off:], p.Data)
+	}
+	rb.got += int(p.Length)
+	if rb.got >= total {
+		qp.cur = nil
+		if rb.done != nil {
+			rb.done(rb.got, nil)
+		}
+	}
+	return tl.TargetVerdict{}
+}
+
+// HandlePull serves READ and ATOMIC transactions.
+func (t *target) HandlePull(rsn uint64, p *wire.Packet) ([]byte, uint32, tl.TargetVerdict) {
+	qp := (*QP)(t)
+	switch p.UlpOp {
+	case opRead, 0:
+		if p.Addr+uint64(p.PullLength) > qp.memLen {
+			return nil, 0, tl.TargetVerdict{Kind: tl.TargetError}
+		}
+		var data []byte
+		if qp.mem != nil {
+			data = append([]byte(nil), qp.mem[p.Addr:p.Addr+uint64(p.PullLength)]...)
+		}
+		return data, p.PullLength, tl.TargetVerdict{}
+	case opCompSwap, opFetchAdd:
+		return qp.handleAtomic(p)
+	default:
+		return nil, 0, tl.TargetVerdict{Kind: tl.TargetError}
+	}
+}
+
+func (qp *QP) handleAtomic(p *wire.Packet) ([]byte, uint32, tl.TargetVerdict) {
+	if p.Addr+8 > qp.memLen {
+		return nil, 0, tl.TargetVerdict{Kind: tl.TargetError}
+	}
+	if qp.mem == nil || p.Data == nil {
+		// Size-only simulation: 8-byte response, no value semantics.
+		return nil, 8, tl.TargetVerdict{}
+	}
+	old := binary.BigEndian.Uint64(qp.mem[p.Addr:])
+	switch p.UlpOp {
+	case opCompSwap:
+		compare := binary.BigEndian.Uint64(p.Data)
+		swap := binary.BigEndian.Uint64(p.Data[8:])
+		if old == compare {
+			binary.BigEndian.PutUint64(qp.mem[p.Addr:], swap)
+		}
+	case opFetchAdd:
+		add := binary.BigEndian.Uint64(p.Data)
+		binary.BigEndian.PutUint64(qp.mem[p.Addr:], old+add)
+	}
+	resp := make([]byte, 8)
+	binary.BigEndian.PutUint64(resp, old)
+	return resp, 8, tl.TargetVerdict{}
+}

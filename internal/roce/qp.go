@@ -1,0 +1,425 @@
+package roce
+
+import (
+	"time"
+
+	"falcon/internal/netsim"
+	"falcon/internal/sim"
+)
+
+// endpoint is either side of a QP.
+type endpoint interface {
+	handle(p *packet)
+}
+
+// Connect establishes an RC QP between a client (requester) and server
+// (responder) node. The returned QP issues Write/Send/Read operations; the
+// Responder exposes delivery counters.
+func Connect(client, server *Node, id uint32, cfg Config) (*QP, *Responder) {
+	if cfg.MTU <= 0 {
+		cfg.MTU = 4096
+	}
+	if cfg.WindowSize <= 0 {
+		cfg.WindowSize = 128
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 500 * time.Microsecond
+	}
+	qp := &QP{
+		node: client, cfg: cfg, id: id, dst: server.host.ID,
+		rateGbps: cfg.LinkGbps,
+		reqPkts:  make(map[uint32]*txPkt),
+		respWait: make(map[uint32]*op),
+		respBuf:  make(map[uint32]*packet),
+	}
+	if qp.rateGbps <= 0 {
+		qp.rateGbps = cfg.CC.MaxRateGbps
+	}
+	r := &Responder{
+		node: server, cfg: cfg, id: id, dst: client.host.ID,
+		reqBuf:   make(map[uint32]*packet),
+		respPkts: make(map[uint32]*txPkt),
+		respOf:   make(map[uint32][2]uint32),
+	}
+	qp.resp = r
+	client.qps[id] = qp
+	server.qps[id] = r
+	return qp, r
+}
+
+// op is one outstanding IB Verbs operation.
+type op struct {
+	kind      OpKind
+	totalPkts int
+	ackedPkts int
+	done      func()
+}
+
+// txPkt is one tracked transmitted packet.
+type txPkt struct {
+	pkt *packet
+	op  *op
+}
+
+// QP is the requester side.
+type QP struct {
+	node *Node
+	cfg  Config
+	id   uint32
+	dst  netsim.NodeID
+	resp *Responder
+
+	// Request stream sender state.
+	nextPSN uint32
+	una     uint32 // lowest unacked
+	reqPkts map[uint32]*txPkt
+	sendQ   []*txPkt
+
+	// Read response receiver state.
+	expectedResp uint32
+	respAlloc    uint32
+	respWait     map[uint32]*op     // predicted resp PSN -> op
+	respBuf      map[uint32]*packet // SR/AR out-of-order responses
+	respNakArmed bool
+
+	// Rate-based CC.
+	rateGbps   float64
+	nextSend   sim.Time
+	probeTimer sim.Timer
+	lastDecr   sim.Time
+
+	rtoTimer     sim.Timer
+	pumpTimer    sim.Timer
+	lastProgress sim.Time
+
+	// Stats
+	Stats struct {
+		DataSent     uint64
+		Retransmits  uint64
+		RTOs         uint64
+		NaksReceived uint64
+		ReadBytes    uint64
+		OpsCompleted uint64
+	}
+}
+
+// RateGbps returns the current RTTCC sending rate.
+func (q *QP) RateGbps() float64 { return q.rateGbps }
+
+// Write posts an RDMA WRITE of size bytes.
+func (q *QP) Write(size int, done func()) { q.postData(ptWrite, size, done) }
+
+// Send posts an RDMA SEND of size bytes.
+func (q *QP) Send(size int, done func()) { q.postData(ptSend, size, done) }
+
+func (q *QP) postData(t pktType, size int, done func()) {
+	segs := segments(size, q.cfg.MTU)
+	o := &op{kind: OpWrite, totalPkts: len(segs), done: done}
+	if t == ptSend {
+		o.kind = OpSend
+	}
+	for _, seg := range segs {
+		q.sendQ = append(q.sendQ, &txPkt{op: o, pkt: &packet{Type: t, QP: q.id, Size: seg, Stream: streamReq}})
+	}
+	q.pump()
+}
+
+// Read posts an RDMA READ of size bytes: one single-packet request per MTU
+// chunk, each soliciting one response packet.
+func (q *QP) Read(size int, done func()) {
+	segs := segments(size, q.cfg.MTU)
+	o := &op{kind: OpRead, totalPkts: len(segs), done: done}
+	for _, seg := range segs {
+		q.sendQ = append(q.sendQ, &txPkt{op: o, pkt: &packet{
+			Type: ptReadReq, QP: q.id, Size: 16, RespPSNs: 1, RespBytes: seg, Stream: streamReq,
+		}})
+	}
+	q.pump()
+}
+
+func segments(size, mtu int) []int {
+	if size <= 0 {
+		return []int{0}
+	}
+	var out []int
+	for size > 0 {
+		c := size
+		if c > mtu {
+			c = mtu
+		}
+		out = append(out, c)
+		size -= c
+	}
+	return out
+}
+
+// outstanding counts unacked request packets plus unreceived solicited
+// response packets.
+func (q *QP) outstanding() int {
+	return int(q.nextPSN-q.una) + int(q.respAlloc-q.expectedResp)
+}
+
+// pump transmits queued packets subject to the window and the RTTCC rate.
+func (q *QP) pump() {
+	now := q.node.sim.Now()
+	for len(q.sendQ) > 0 {
+		if q.outstanding() >= q.cfg.WindowSize {
+			return // ack-clocked
+		}
+		if q.nextSend > now {
+			if !q.pumpTimer.Pending() {
+				q.pumpTimer = q.node.sim.At(q.nextSend, func() { q.pump() })
+			}
+			return
+		}
+		tp := q.sendQ[0]
+		q.sendQ = q.sendQ[1:]
+		p := tp.pkt
+		p.PSN = q.nextPSN
+		q.nextPSN++
+		q.reqPkts[p.PSN] = tp
+		if p.Type == ptReadReq {
+			// Predict the response PSNs this request will elicit.
+			for i := uint32(0); i < p.RespPSNs; i++ {
+				q.respWait[q.respAlloc] = tp.op
+				q.respAlloc++
+			}
+		}
+		q.transmit(p, false)
+	}
+}
+
+// transmit sends (or retransmits) one request-stream packet.
+func (q *QP) transmit(p *packet, retx bool) {
+	if retx {
+		q.Stats.Retransmits++
+	} else {
+		q.Stats.DataSent++
+	}
+	// Pace at the CC rate.
+	wire := headerBytes + p.Size
+	gap := time.Duration(float64(wire) * 8 / q.rateGbps)
+	now := q.node.sim.Now()
+	if q.nextSend < now {
+		q.nextSend = now
+	}
+	q.nextSend = q.nextSend.Add(gap)
+	q.node.send(q.dst, p, q.pathHash(p))
+	q.armTimers()
+}
+
+// pathHash returns the ECMP hash: fixed per QP (RoCE has no multipath
+// protocol support), except AR mode where the switch sprays adaptively.
+func (q *QP) pathHash(p *packet) uint64 {
+	if q.cfg.Mode == AR {
+		return q.node.sim.Rand().Uint64()
+	}
+	return uint64(q.id)<<20 | 0x5a5a
+}
+
+func (q *QP) armTimers() {
+	if q.outstanding() == 0 {
+		q.rtoTimer.Stop()
+		q.probeTimer.Stop()
+		return
+	}
+	if !q.rtoTimer.Pending() {
+		q.rtoTimer = q.node.sim.After(q.cfg.RTO, q.onRTO)
+	}
+	if !q.probeTimer.Pending() && q.cfg.CC.ProbeInterval > 0 {
+		q.probeTimer = q.node.sim.After(q.cfg.CC.ProbeInterval, q.sendProbe)
+	}
+}
+
+func (q *QP) sendProbe() {
+	if q.outstanding() == 0 {
+		return
+	}
+	q.node.send(q.dst, &packet{Type: ptProbe, QP: q.id, T1: int64(q.node.sim.Now())}, q.pathHash(nil))
+	q.probeTimer = q.node.sim.After(q.cfg.CC.ProbeInterval, q.sendProbe)
+}
+
+// onRTO is the timeout path: collapse the rate and go-back-N from the
+// lowest unacked request (all modes; AR has no other recovery signal).
+func (q *QP) onRTO() {
+	if q.outstanding() == 0 {
+		return
+	}
+	q.Stats.RTOs++
+	q.rateGbps = maxf(q.cfg.CC.MinRateGbps, q.rateGbps/2)
+	for psn := q.una; psn != q.nextPSN; psn++ {
+		if tp, ok := q.reqPkts[psn]; ok {
+			q.transmit(tp.pkt, true)
+		}
+	}
+	// Re-solicit missing read responses by retransmitting their
+	// requests (covered above since requests stay unacked until their
+	// responses... requests are acked separately; covered by reqPkts).
+	q.rtoTimer.Stop()
+	q.armTimers()
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// handle processes packets arriving at the requester.
+func (q *QP) handle(p *packet) {
+	switch p.Type {
+	case ptAck:
+		q.handleAck(p)
+	case ptNak:
+		q.handleNak(p)
+	case ptReadResp:
+		q.handleReadResp(p)
+	case ptProbeResp:
+		q.handleProbeResp(p)
+	}
+}
+
+func (q *QP) handleAck(p *packet) {
+	progressed := false
+	for q.una < p.AckPSN && q.una != q.nextPSN {
+		tp, ok := q.reqPkts[q.una]
+		if ok {
+			delete(q.reqPkts, q.una)
+			if tp.op.kind != OpRead { // reads complete on response data
+				tp.op.ackedPkts++
+				if tp.op.ackedPkts == tp.op.totalPkts {
+					q.Stats.OpsCompleted++
+					if tp.op.done != nil {
+						tp.op.done()
+					}
+				}
+			}
+		}
+		q.una++
+		progressed = true
+	}
+	if progressed {
+		q.lastProgress = q.node.sim.Now()
+		q.rtoTimer.Stop()
+		q.armTimers()
+		q.pump()
+	}
+}
+
+func (q *QP) handleNak(p *packet) {
+	q.Stats.NaksReceived++
+	if p.Stream == streamResp {
+		// Client NAKs about responses are handled at the server; a NAK
+		// arriving here names a missing *request* PSN.
+		return
+	}
+	switch q.cfg.Mode {
+	case SR:
+		// Retransmit exactly the missing request packet... but SR only
+		// covers Writes; for Sends/ReadReqs the responder asked for a
+		// rewind.
+		if tp, ok := q.reqPkts[p.NakPSN]; ok {
+			if tp.pkt.Type == ptWrite {
+				q.transmit(tp.pkt, true)
+				return
+			}
+		}
+		q.goBackN(p.NakPSN)
+	default: // GBN (AR never NAKs)
+		q.goBackN(p.NakPSN)
+	}
+}
+
+// goBackN retransmits every unacked request from psn.
+func (q *QP) goBackN(psn uint32) {
+	for s := psn; s != q.nextPSN; s++ {
+		if tp, ok := q.reqPkts[s]; ok {
+			q.transmit(tp.pkt, true)
+		}
+	}
+}
+
+// handleReadResp processes an arriving read-response packet with the
+// mode's ordering semantics.
+func (q *QP) handleReadResp(p *packet) {
+	switch {
+	case p.PSN == q.expectedResp:
+		q.acceptResp(p)
+		q.respNakArmed = false
+		// Drain buffered responses.
+		for {
+			nxt, ok := q.respBuf[q.expectedResp]
+			if !ok {
+				break
+			}
+			delete(q.respBuf, q.expectedResp)
+			q.acceptResp(nxt)
+		}
+		// Ack response progress so the responder can garbage-collect
+		// retransmission state.
+		q.node.send(q.dst, &packet{Type: ptAck, QP: q.id, AckPSN: q.expectedResp}, q.pathHash(nil))
+		q.pump()
+	case p.PSN < q.expectedResp:
+		// Duplicate; ignore.
+	default: // gap in the response stream
+		switch q.cfg.Mode {
+		case SR:
+			// Read responses are SR-capable: buffer and NAK the
+			// missing one.
+			q.respBuf[p.PSN] = p
+			q.sendRespNak()
+		case AR:
+			q.respBuf[p.PSN] = p // tolerate; recover by RTO
+		default: // GBN: drop OOO, NAK once per episode
+			if !q.respNakArmed {
+				q.respNakArmed = true
+				q.sendRespNak()
+			}
+		}
+	}
+	q.lastProgress = q.node.sim.Now()
+}
+
+// acceptResp consumes one in-order response packet.
+func (q *QP) acceptResp(p *packet) {
+	if o, ok := q.respWait[q.expectedResp]; ok {
+		delete(q.respWait, q.expectedResp)
+		q.Stats.ReadBytes += uint64(p.Size)
+		o.ackedPkts++
+		if o.ackedPkts == o.totalPkts {
+			q.Stats.OpsCompleted++
+			if o.done != nil {
+				o.done()
+			}
+		}
+	}
+	q.expectedResp++
+	q.rtoTimer.Stop()
+	q.armTimers()
+}
+
+func (q *QP) sendRespNak() {
+	q.node.send(q.dst, &packet{
+		Type: ptNak, QP: q.id, Stream: streamResp, NakPSN: q.expectedResp,
+	}, q.pathHash(nil))
+}
+
+// handleProbeResp folds one RTT probe into the RTTCC rate.
+func (q *QP) handleProbeResp(p *packet) {
+	now := q.node.sim.Now()
+	rtt := now.Sub(sim.Time(p.T1))
+	cc := q.cfg.CC
+	if rtt <= cc.TargetRTT {
+		q.rateGbps += cc.AIGbps
+	} else if now.Sub(q.lastDecr) >= cc.ProbeInterval {
+		q.rateGbps *= cc.MD
+		q.lastDecr = now
+	}
+	if q.rateGbps > cc.MaxRateGbps {
+		q.rateGbps = cc.MaxRateGbps
+	}
+	if q.rateGbps < cc.MinRateGbps {
+		q.rateGbps = cc.MinRateGbps
+	}
+}

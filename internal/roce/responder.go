@@ -1,0 +1,217 @@
+package roce
+
+import (
+	"falcon/internal/netsim"
+)
+
+// Responder is the server side of a QP: it enforces the mode's receive
+// ordering for the request stream, generates read responses, and serves as
+// the retransmission source for the response stream.
+type Responder struct {
+	node *Node
+	cfg  Config
+	id   uint32
+	dst  netsim.NodeID
+
+	// Request stream receiver state.
+	expectedReq uint32
+	reqBuf      map[uint32]*packet // SR/AR out-of-order buffer
+	nakArmed    bool
+
+	// Response stream sender state.
+	nextResp uint32
+	respUna  uint32
+	respPkts map[uint32]*txPkt
+	// respOf maps a read request PSN to the [start, count] of response
+	// PSNs it generated, so duplicate requests re-trigger the responses
+	// (the only read-recovery path in AR mode).
+	respOf map[uint32][2]uint32
+
+	// Stats
+	Stats struct {
+		DeliveredBytes uint64 // payload placed into host memory
+		DroppedOOO     uint64 // packets discarded for arriving out of order
+		NaksSent       uint64
+		RespSent       uint64
+		RespRetx       uint64
+	}
+}
+
+// handle processes packets arriving at the responder.
+func (r *Responder) handle(p *packet) {
+	switch p.Type {
+	case ptProbe:
+		r.node.send(r.dst, &packet{Type: ptProbeResp, QP: r.id, T1: p.T1}, r.hash())
+	case ptNak:
+		if p.Stream == streamResp {
+			r.handleRespNak(p)
+		}
+	case ptAck:
+		// Response-stream cumulative ack from the client (piggybacked
+		// model: the client's progress is implicit; responses are
+		// garbage-collected when the window recycles).
+		r.gcResponses(p.AckPSN)
+	case ptWrite, ptSend, ptReadReq:
+		r.handleRequest(p)
+	}
+}
+
+func (r *Responder) hash() uint64 { return uint64(r.id)<<20 | 0xa5a5 }
+
+// handleRequest applies the mode's ordering rules (§2, §6.1.1).
+func (r *Responder) handleRequest(p *packet) {
+	// Host-interface backpressure: unlike Falcon (whose ncwnd throttles
+	// the sender before the buffer fills), a RoCE NIC without PFC drops
+	// incoming data once its RX buffer is exhausted by a slow host
+	// (Figure 14's contrast).
+	if n := r.node.nic; n != nil && (p.Type == ptWrite || p.Type == ptSend) {
+		if n.RxOccupancy() >= 1 {
+			r.Stats.DroppedOOO++
+			return
+		}
+	}
+	switch {
+	case p.PSN == r.expectedReq:
+		r.accept(p, false)
+		r.nakArmed = false
+		for {
+			nxt, ok := r.reqBuf[r.expectedReq]
+			if !ok {
+				break
+			}
+			delete(r.reqBuf, r.expectedReq)
+			r.accept(nxt, true)
+		}
+		r.sendAck()
+	case p.PSN < r.expectedReq:
+		// Duplicate (e.g. a go-back-N rewind overlap): re-ack, and for
+		// read requests re-send their responses — the requester only
+		// retransmits a request when responses went missing.
+		if p.Type == ptReadReq {
+			if span, ok := r.respOf[p.PSN]; ok {
+				for i := uint32(0); i < span[1]; i++ {
+					if tp, ok := r.respPkts[span[0]+i]; ok {
+						r.Stats.RespRetx++
+						r.node.send(r.dst, tp.pkt, r.hash())
+					}
+				}
+			}
+		}
+		r.sendAck()
+	default: // out-of-order arrival
+		switch r.cfg.Mode {
+		case GBN:
+			// Drop everything out of order; one NAK per episode.
+			r.Stats.DroppedOOO++
+			if !r.nakArmed {
+				r.nakArmed = true
+				r.sendNak()
+			}
+		case SR:
+			if p.Type == ptWrite {
+				// Writes are SR-capable: place out of order and
+				// NAK each OOO arrival (§6.1.1: "sends a
+				// Negative Acknowledgment for each out-of-order
+				// packet").
+				if _, dup := r.reqBuf[p.PSN]; !dup {
+					r.reqBuf[p.PSN] = p
+					r.Stats.DeliveredBytes += uint64(p.Size)
+				}
+				r.sendNak()
+			} else {
+				// Sends and Read Requests fall back to GBN:
+				// "RoCE-SR is not available to these IB Verbs
+				// ops".
+				r.Stats.DroppedOOO++
+				if !r.nakArmed {
+					r.nakArmed = true
+					r.sendNak()
+				}
+			}
+		case AR:
+			// Reorder-tolerant: buffer silently; loss is the
+			// sender's RTO problem.
+			if _, dup := r.reqBuf[p.PSN]; !dup {
+				r.reqBuf[p.PSN] = p
+				if p.Type == ptWrite {
+					r.Stats.DeliveredBytes += uint64(p.Size)
+				}
+			}
+		}
+	}
+}
+
+// accept consumes one in-sequence request packet. fromBuffer marks packets
+// drained from the out-of-order buffer, whose write payload was already
+// placed (and counted) at buffering time in SR/AR modes.
+func (r *Responder) accept(p *packet, fromBuffer bool) {
+	switch p.Type {
+	case ptWrite:
+		countedAtBuffer := fromBuffer && r.cfg.Mode != GBN
+		if !countedAtBuffer {
+			r.Stats.DeliveredBytes += uint64(p.Size)
+		}
+		if r.node.nic != nil {
+			r.node.nic.DeliverToHost(p.Size, nil)
+		}
+	case ptSend:
+		r.Stats.DeliveredBytes += uint64(p.Size)
+		if r.node.nic != nil {
+			r.node.nic.DeliverToHost(p.Size, nil)
+		}
+	case ptReadReq:
+		r.generateResponses(p)
+	}
+	r.expectedReq++
+}
+
+// generateResponses emits the read-response packets a request solicits.
+func (r *Responder) generateResponses(req *packet) {
+	r.respOf[req.PSN] = [2]uint32{r.nextResp, req.RespPSNs}
+	for i := uint32(0); i < req.RespPSNs; i++ {
+		p := &packet{Type: ptReadResp, QP: r.id, PSN: r.nextResp, Size: req.RespBytes, Stream: streamResp}
+		r.nextResp++
+		r.respPkts[p.PSN] = &txPkt{pkt: p}
+		r.Stats.RespSent++
+		r.node.send(r.dst, p, r.hash())
+	}
+}
+
+// handleRespNak retransmits missing response packets per the mode.
+func (r *Responder) handleRespNak(p *packet) {
+	switch r.cfg.Mode {
+	case SR:
+		if tp, ok := r.respPkts[p.NakPSN]; ok {
+			r.Stats.RespRetx++
+			r.node.send(r.dst, tp.pkt, r.hash())
+		}
+	default:
+		// GBN on the response stream: resend everything from the
+		// requested PSN.
+		for s := p.NakPSN; s != r.nextResp; s++ {
+			if tp, ok := r.respPkts[s]; ok {
+				r.Stats.RespRetx++
+				r.node.send(r.dst, tp.pkt, r.hash())
+			}
+		}
+	}
+}
+
+// gcResponses drops response retransmission state below the acked horizon.
+func (r *Responder) gcResponses(ackPSN uint32) {
+	for r.respUna < ackPSN {
+		delete(r.respPkts, r.respUna)
+		r.respUna++
+	}
+}
+
+// sendAck sends the cumulative request-stream acknowledgment.
+func (r *Responder) sendAck() {
+	r.node.send(r.dst, &packet{Type: ptAck, QP: r.id, AckPSN: r.expectedReq}, r.hash())
+}
+
+// sendNak asks for the expected request PSN.
+func (r *Responder) sendNak() {
+	r.Stats.NaksSent++
+	r.node.send(r.dst, &packet{Type: ptNak, QP: r.id, Stream: streamReq, NakPSN: r.expectedReq}, r.hash())
+}

@@ -1,0 +1,224 @@
+// Package roce implements the RoCE (RDMA over Converged Ethernet) baseline
+// the paper evaluates Falcon against (§2, §6.1). The model captures the
+// behaviours the paper attributes to CX-7-class NICs:
+//
+//   - Go-Back-N loss recovery (Mode GBN): the receiver accepts only
+//     in-sequence packets, drops everything out of order, and NAKs the
+//     expected PSN; the sender rewinds and retransmits the whole window.
+//   - Selective Repeat (Mode SR): available only for RDMA Writes and Read
+//     Responses — the receiver buffers those out of order and emits one NAK
+//     per out-of-order arrival naming the missing PSN; Sends and Read
+//     Requests still get GBN treatment ("RoCE-SR is not available to these
+//     IB Verbs ops", §6.1.1).
+//   - Adaptive Routing mode (Mode AR): tolerates reordering (no NAKs at
+//     all), so losses are recovered only by retransmission timeout —
+//     "packet capture traces show no signal from the target for immediate
+//     retransmission" (§6.1.1).
+//   - RTTCC congestion control: probe-based rate control (out-of-band RTT
+//     probes rather than per-packet timestamps), giving the sluggish
+//     congestion response the paper describes (§2: "its congestion
+//     response [is] sluggish").
+//
+// Like Falcon, RoCE rides the shared internal/netsim fabric; a QP uses a
+// single network path (no multipath protocol support).
+package roce
+
+import (
+	"time"
+
+	"falcon/internal/netsim"
+	"falcon/internal/nic"
+	"falcon/internal/sim"
+)
+
+// Mode selects the loss-recovery scheme.
+type Mode int
+
+const (
+	// GBN is go-back-N: in-order-only receiver, full-window rewinds.
+	GBN Mode = iota
+	// SR is selective repeat for Writes/Read Responses only.
+	SR
+	// AR is adaptive-routing mode: reorder-tolerant, timeout-only
+	// recovery.
+	AR
+)
+
+func (m Mode) String() string {
+	switch m {
+	case GBN:
+		return "RoCE-GBN"
+	case SR:
+		return "RoCE-SR"
+	case AR:
+		return "RoCE-AR"
+	}
+	return "RoCE-?"
+}
+
+// OpKind is the IB Verbs operation class.
+type OpKind int
+
+const (
+	// OpWrite is RDMA WRITE.
+	OpWrite OpKind = iota
+	// OpSend is RDMA SEND.
+	OpSend
+	// OpRead is RDMA READ.
+	OpRead
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpSend:
+		return "send"
+	}
+	return "read"
+}
+
+// packet types on the wire.
+type pktType int
+
+const (
+	ptWrite pktType = iota
+	ptSend
+	ptReadReq
+	ptReadResp
+	ptAck
+	ptNak
+	ptProbe
+	ptProbeResp
+)
+
+// packet is one RoCE wire packet (modeled).
+type packet struct {
+	Type pktType
+	QP   uint32
+	PSN  uint32
+	// Size is payload bytes (data packets).
+	Size int
+	// RespPSNs is, on read requests, how many response packets the
+	// request solicits.
+	RespPSNs uint32
+	// RespBytes is the per-response-packet size for this read.
+	RespBytes int
+	// AckPSN is the cumulative acknowledgment (all PSNs below received).
+	AckPSN uint32
+	// NakPSN is the PSN the receiver wants (expected/missing).
+	NakPSN uint32
+	// Stream distinguishes the request stream (client→server) from the
+	// response stream (server→client).
+	Stream int
+	// T1 is the probe transmit timestamp.
+	T1 int64
+}
+
+const headerBytes = 58 // IB BTH+ETH+IP overhead, modeled
+
+// streams
+const (
+	streamReq = iota
+	streamResp
+)
+
+// RTTCCConfig parameterizes the probe-based congestion control.
+type RTTCCConfig struct {
+	// ProbeInterval is how often an RTT probe is sent while data is in
+	// flight. Rate only adapts when probe responses return — the source
+	// of RTTCC's slower reaction compared to per-packet delay CC.
+	ProbeInterval time.Duration
+	// TargetRTT is the probe-RTT threshold separating increase from
+	// decrease.
+	TargetRTT time.Duration
+	// MinRateGbps/MaxRateGbps bound the sending rate.
+	MinRateGbps, MaxRateGbps float64
+	// AIGbps is the additive increase per probe below target.
+	AIGbps float64
+	// MD is the multiplicative decrease factor per probe above target.
+	MD float64
+}
+
+// DefaultRTTCC returns RTTCC settings for a 200G NIC in a shallow fabric.
+func DefaultRTTCC() RTTCCConfig {
+	return RTTCCConfig{
+		ProbeInterval: 50 * time.Microsecond,
+		TargetRTT:     40 * time.Microsecond,
+		MinRateGbps:   0.5,
+		MaxRateGbps:   200,
+		AIGbps:        4,
+		MD:            0.85,
+	}
+}
+
+// Config parameterizes a QP pair.
+type Config struct {
+	Mode       Mode
+	MTU        int
+	WindowSize int // max outstanding packets per stream
+	RTO        time.Duration
+	CC         RTTCCConfig
+	// LinkGbps seeds the initial rate.
+	LinkGbps float64
+}
+
+// DefaultConfig returns the evaluation's RoCE settings.
+func DefaultConfig() Config {
+	return Config{
+		Mode:       GBN,
+		MTU:        4096,
+		WindowSize: 128,
+		RTO:        500 * time.Microsecond,
+		CC:         DefaultRTTCC(),
+		LinkGbps:   200,
+	}
+}
+
+// Node hosts RoCE QPs on one fabric host.
+type Node struct {
+	sim  *sim.Simulator
+	host *netsim.Host
+	nic  *nic.NIC
+	qps  map[uint32]endpoint
+}
+
+// NewNode attaches a RoCE node to a host. nicModel may be nil (no pipeline
+// or cache modeling).
+func NewNode(s *sim.Simulator, host *netsim.Host, nicModel *nic.NIC) *Node {
+	n := &Node{sim: s, host: host, nic: nicModel, qps: make(map[uint32]endpoint)}
+	host.SetHandler(n)
+	return n
+}
+
+// NIC returns the node's NIC model (may be nil).
+func (n *Node) NIC() *nic.NIC { return n.nic }
+
+// HandleFrame implements netsim.Handler.
+func (n *Node) HandleFrame(f *netsim.Frame) {
+	p, ok := f.Payload.(*packet)
+	if !ok {
+		return
+	}
+	ep, ok := n.qps[p.QP]
+	if !ok {
+		return
+	}
+	if n.nic != nil {
+		n.nic.Process(p.QP, func() { ep.handle(p) })
+		return
+	}
+	ep.handle(p)
+}
+
+func (n *Node) send(dst netsim.NodeID, p *packet, hash uint64) {
+	size := headerBytes + p.Size
+	emit := func() {
+		n.host.Send(&netsim.Frame{Dst: dst, FlowHash: hash, Size: size, Payload: p})
+	}
+	if n.nic != nil {
+		n.nic.Process(p.QP, emit)
+		return
+	}
+	emit()
+}

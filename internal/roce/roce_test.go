@@ -1,0 +1,258 @@
+package roce
+
+import (
+	"testing"
+	"time"
+
+	"falcon/internal/netsim"
+	"falcon/internal/sim"
+)
+
+var testLink = netsim.LinkConfig{GbpsRate: 100, PropDelay: time.Microsecond}
+
+func pair(t *testing.T, cfg Config) (*sim.Simulator, *QP, *Responder, *netsim.Port) {
+	t.Helper()
+	s := sim.New(17)
+	topo, fwd := netsim.PointToPoint(s, testLink)
+	a := NewNode(s, topo.Hosts[0], nil)
+	b := NewNode(s, topo.Hosts[1], nil)
+	qp, r := Connect(a, b, 1, cfg)
+	return s, qp, r, fwd
+}
+
+func TestWriteDelivers(t *testing.T) {
+	s, qp, r, _ := pair(t, DefaultConfig())
+	done := false
+	qp.Write(64<<10, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("write never completed")
+	}
+	if r.Stats.DeliveredBytes != 64<<10 {
+		t.Fatalf("delivered %d bytes", r.Stats.DeliveredBytes)
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	s, qp, r, _ := pair(t, DefaultConfig())
+	done := false
+	qp.Send(8192, func() { done = true })
+	s.Run()
+	if !done || r.Stats.DeliveredBytes != 8192 {
+		t.Fatalf("done=%v delivered=%d", done, r.Stats.DeliveredBytes)
+	}
+}
+
+func TestReadCompletes(t *testing.T) {
+	s, qp, _, _ := pair(t, DefaultConfig())
+	done := false
+	qp.Read(32<<10, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("read never completed")
+	}
+	if qp.Stats.ReadBytes != 32<<10 {
+		t.Fatalf("read bytes = %d", qp.Stats.ReadBytes)
+	}
+}
+
+func TestGBNRecoversLossExpensively(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = GBN
+	s, qp, r, fwd := pair(t, cfg)
+	fwd.SetDropProb(0.05)
+	completed := 0
+	for i := 0; i < 50; i++ {
+		qp.Write(8192, func() { completed++ })
+	}
+	s.Run()
+	if completed != 50 {
+		t.Fatalf("completed %d of 50 under loss", completed)
+	}
+	if qp.Stats.Retransmits == 0 {
+		t.Fatal("GBN should retransmit under loss")
+	}
+	if r.Stats.DroppedOOO == 0 {
+		t.Fatal("GBN receiver should drop OOO packets following a loss")
+	}
+}
+
+func TestSRRetransmitsPreciselyForWrites(t *testing.T) {
+	retxFor := func(mode Mode) uint64 {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		s, qp, _, fwd := pair(t, cfg)
+		fwd.SetDropProb(0.03)
+		completed := 0
+		for i := 0; i < 30; i++ {
+			qp.Write(16384, func() { completed++ })
+		}
+		s.Run()
+		if completed != 30 {
+			t.Fatalf("%v completed %d of 30", mode, completed)
+		}
+		return qp.Stats.Retransmits
+	}
+	gbn := retxFor(GBN)
+	sr := retxFor(SR)
+	if sr >= gbn {
+		t.Fatalf("SR retransmits (%d) should be fewer than GBN (%d) for writes", sr, gbn)
+	}
+}
+
+func TestSendLossFallsBackToGBNEvenInSR(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = SR
+	s, qp, r, fwd := pair(t, cfg)
+	fwd.SetDropProb(0.03)
+	completed := 0
+	for i := 0; i < 30; i++ {
+		qp.Send(16384, func() { completed++ })
+	}
+	s.Run()
+	if completed != 30 {
+		t.Fatalf("completed %d of 30", completed)
+	}
+	// Sends are not SR-capable: OOO sends are dropped at the receiver.
+	if r.Stats.DroppedOOO == 0 {
+		t.Fatal("OOO sends should be dropped even in SR mode")
+	}
+}
+
+func TestARRecoversOnlyByRTO(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = AR
+	cfg.RTO = 200 * time.Microsecond
+	s, qp, r, fwd := pair(t, cfg)
+	fwd.SetDropProb(0.05)
+	completed := 0
+	for i := 0; i < 30; i++ {
+		qp.Write(16384, func() { completed++ })
+	}
+	s.Run()
+	if completed != 30 {
+		t.Fatalf("completed %d of 30", completed)
+	}
+	if r.Stats.NaksSent != 0 {
+		t.Fatal("AR mode must not NAK")
+	}
+	if qp.Stats.RTOs == 0 {
+		t.Fatal("AR loss recovery must come from RTO")
+	}
+}
+
+func TestARToleratesReorderingWithoutRetx(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = AR
+	s, qp, _, fwd := pair(t, cfg)
+	fwd.SetReorder(0.2, 15*time.Microsecond)
+	completed := 0
+	for i := 0; i < 20; i++ {
+		qp.Write(16384, func() { completed++ })
+	}
+	s.Run()
+	if completed != 20 {
+		t.Fatalf("completed %d", completed)
+	}
+	if qp.Stats.Retransmits > 0 && qp.Stats.RTOs == 0 {
+		t.Fatal("AR should not fast-retransmit under reordering")
+	}
+}
+
+func TestGBNSuffersUnderReordering(t *testing.T) {
+	run := func(mode Mode) uint64 {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		s, qp, _, fwd := pair(t, cfg)
+		fwd.SetReorder(0.15, 15*time.Microsecond)
+		completed := 0
+		for i := 0; i < 20; i++ {
+			qp.Write(16384, func() { completed++ })
+		}
+		s.Run()
+		if completed != 20 {
+			t.Fatalf("%v completed %d", mode, completed)
+		}
+		return qp.Stats.Retransmits
+	}
+	gbn := run(GBN)
+	ar := run(AR)
+	if gbn <= ar {
+		t.Fatalf("GBN retransmits (%d) should exceed AR (%d) under pure reordering", gbn, ar)
+	}
+}
+
+func TestReadLossRecovered(t *testing.T) {
+	for _, mode := range []Mode{GBN, SR, AR} {
+		cfg := DefaultConfig()
+		cfg.Mode = mode
+		cfg.RTO = 300 * time.Microsecond
+		s, qp, _, fwd := pair(t, cfg)
+		fwd.SetDropProb(0.03) // drops read requests in forward direction
+		completed := 0
+		for i := 0; i < 15; i++ {
+			qp.Read(16384, func() { completed++ })
+		}
+		s.Run()
+		if completed != 15 {
+			t.Fatalf("%v: completed %d of 15 reads", mode, completed)
+		}
+	}
+}
+
+func TestRTTCCAdaptsRate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CC.TargetRTT = 1 * time.Microsecond // everything is "congested"
+	s, qp, _, _ := pair(t, cfg)
+	before := qp.RateGbps()
+	for i := 0; i < 50; i++ {
+		qp.Write(64<<10, nil)
+	}
+	s.Run()
+	if qp.RateGbps() >= before {
+		t.Fatalf("rate %v did not decrease with RTT above target", qp.RateGbps())
+	}
+}
+
+func TestRTTCCIncreasesWhenIdlePath(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LinkGbps = 10 // start slow
+	cfg.CC.TargetRTT = 10 * time.Millisecond
+	s, qp, _, _ := pair(t, cfg)
+	for i := 0; i < 50; i++ {
+		qp.Write(64<<10, nil)
+	}
+	s.Run()
+	if qp.RateGbps() <= 10 {
+		t.Fatalf("rate %v did not increase below target", qp.RateGbps())
+	}
+}
+
+func TestWindowBoundsOutstanding(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WindowSize = 8
+	s, qp, _, fwd := pair(t, cfg)
+	maxOut := 0
+	fwd.SetDropProb(0)
+	probe := func() {
+		if o := qp.outstanding(); o > maxOut {
+			maxOut = o
+		}
+	}
+	for i := 0; i < 100; i++ {
+		qp.Write(4096, probe)
+	}
+	s.Run()
+	if maxOut > 8 {
+		t.Fatalf("outstanding reached %d with window 8", maxOut)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if GBN.String() != "RoCE-GBN" || SR.String() != "RoCE-SR" || AR.String() != "RoCE-AR" {
+		t.Fatal("mode strings")
+	}
+	if OpWrite.String() != "write" || OpSend.String() != "send" || OpRead.String() != "read" {
+		t.Fatal("op strings")
+	}
+}

@@ -1,0 +1,223 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives every Falcon experiment in this repository.
+//
+// All protocol code in internal/falcon, internal/roce and internal/netsim is
+// written as synchronous state machines that react to three kinds of events
+// (ULP operations, packet arrivals, and timers). The engine delivers those
+// events in strict virtual-time order, breaking ties by scheduling order, so
+// a run with a fixed seed is bit-for-bit reproducible.
+//
+// Virtual time is an int64 nanosecond count (type Time). Nothing in the
+// repository reads the wall clock; components take a *Simulator (or the
+// narrower Clock interface) and schedule continuations on it.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Common durations, mirroring time.Duration conversions for readability at
+// call sites (sim.Microsecond etc. are Durations, not Times).
+const (
+	Nanosecond  = time.Duration(1)
+	Microsecond = 1000 * Nanosecond
+	Millisecond = 1000 * Microsecond
+	Second      = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts a virtual timestamp to a duration since time zero.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Clock is the read-only view of the simulation clock. Protocol components
+// that only need the current time take a Clock so they can be reused outside
+// the simulator.
+type Clock interface {
+	Now() Time
+}
+
+// event is a scheduled callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among events at the same instant
+	fn   func()
+	idx  int // heap index, -1 once popped or cancelled
+	dead bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; experiments that want parallelism run independent
+// simulators in separate goroutines.
+type Simulator struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+
+	// processed counts delivered events, for runaway detection in tests.
+	processed uint64
+}
+
+// New returns a simulator whose clock reads zero and whose random stream is
+// seeded with seed. Two simulators built with the same seed and fed the same
+// schedule produce identical runs.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Rand returns the simulation-owned random stream. All randomness in a run
+// (drop decisions, jitter, workload arrivals) must come from here or from
+// streams derived from it, never from the global rand.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Processed reports how many events have been delivered so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// Timer is a handle to a scheduled event. The zero Timer is invalid; timers
+// are obtained from At/After.
+type Timer struct {
+	s *Simulator
+	e *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the call
+// prevented the event from firing.
+func (t Timer) Stop() bool {
+	if t.e == nil || t.e.dead {
+		return false
+	}
+	t.e.dead = true
+	if t.e.idx >= 0 {
+		heap.Remove(&t.s.events, t.e.idx)
+	}
+	return true
+}
+
+// Pending reports whether the timer is still scheduled.
+func (t Timer) Pending() bool { return t.e != nil && !t.e.dead }
+
+// At schedules fn to run at time at. Scheduling in the past (before Now) is
+// a programming error and panics: silently reordering time would invalidate
+// experiment results.
+func (s *Simulator) At(at Time, fn func()) Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	e := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return Timer{s: s, e: e}
+}
+
+// After schedules fn to run d from now. Negative d is treated as zero.
+func (s *Simulator) After(d time.Duration, fn func()) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// step delivers the next event. It reports false when no events remain.
+func (s *Simulator) step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.dead {
+			continue
+		}
+		e.dead = true
+		s.now = e.at
+		s.processed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run delivers events until none remain.
+func (s *Simulator) Run() {
+	for s.step() {
+	}
+}
+
+// RunUntil delivers events with timestamps <= t, then advances the clock to
+// t. Events scheduled beyond t remain pending.
+func (s *Simulator) RunUntil(t Time) {
+	for len(s.events) > 0 {
+		// Peek at the root of the heap.
+		next := s.events[0]
+		if next.dead {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor advances the simulation by d.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Pending reports the number of live scheduled events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

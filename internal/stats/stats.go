@@ -1,0 +1,168 @@
+// Package stats provides the measurement primitives the benchmark harness
+// uses: latency series with percentiles, goodput accounting, time-bucketed
+// rate series, and Jain's fairness index.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// Series accumulates float64 samples.
+type Series struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add appends a sample.
+func (s *Series) Add(v float64) {
+	s.vals = append(s.vals, v)
+	s.sorted = false
+}
+
+// AddDuration appends a duration sample in nanoseconds.
+func (s *Series) AddDuration(d time.Duration) { s.Add(float64(d)) }
+
+// Count returns the number of samples.
+func (s *Series) Count() int { return len(s.vals) }
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Min and Max return the extremes (0 for an empty series).
+func (s *Series) Min() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest sample.
+func (s *Series) Max() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	m := s.vals[0]
+	for _, v := range s.vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	rank := int(math.Ceil(p/100*float64(len(s.vals)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.vals) {
+		rank = len(s.vals) - 1
+	}
+	return s.vals[rank]
+}
+
+// DurationPercentile is Percentile for duration series.
+func (s *Series) DurationPercentile(p float64) time.Duration {
+	return time.Duration(s.Percentile(p))
+}
+
+// MeanDuration is Mean for duration series.
+func (s *Series) MeanDuration() time.Duration { return time.Duration(s.Mean()) }
+
+// Jain computes Jain's fairness index over allocations: 1.0 is perfectly
+// fair, 1/n is maximally unfair.
+func Jain(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, v := range vals {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(vals)) * sumSq)
+}
+
+// Gbps converts a byte count over a duration to gigabits per second.
+func Gbps(bytes uint64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / float64(d.Nanoseconds())
+}
+
+// RateSeries buckets byte counts over time, producing a goodput-vs-time
+// curve (Figure 14a style).
+type RateSeries struct {
+	bucket  time.Duration
+	buckets []uint64
+}
+
+// NewRateSeries creates a series with the given bucket width.
+func NewRateSeries(bucket time.Duration) *RateSeries {
+	if bucket <= 0 {
+		bucket = time.Millisecond
+	}
+	return &RateSeries{bucket: bucket}
+}
+
+// Record adds bytes delivered at time t.
+func (r *RateSeries) Record(t sim.Time, bytes int) {
+	idx := int(t / sim.Time(r.bucket))
+	for len(r.buckets) <= idx {
+		r.buckets = append(r.buckets, 0)
+	}
+	r.buckets[idx] += uint64(bytes)
+}
+
+// GbpsAt returns the rate in bucket i.
+func (r *RateSeries) GbpsAt(i int) float64 {
+	if i < 0 || i >= len(r.buckets) {
+		return 0
+	}
+	return Gbps(r.buckets[i], r.bucket)
+}
+
+// Len returns the number of buckets recorded.
+func (r *RateSeries) Len() int { return len(r.buckets) }
+
+// String renders the curve compactly.
+func (r *RateSeries) String() string {
+	out := ""
+	for i := range r.buckets {
+		out += fmt.Sprintf("%.1f ", r.GbpsAt(i))
+	}
+	return out
+}

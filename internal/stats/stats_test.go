@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.Percentile(50) != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.Count() != 5 || s.Mean() != 3 || s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("basics wrong: mean=%v min=%v max=%v", s.Mean(), s.Min(), s.Max())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	cases := map[float64]float64{50: 50, 99: 99, 100: 100, 1: 1}
+	for p, want := range cases {
+		if got := s.Percentile(p); got != want {
+			t.Errorf("p%v = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileAfterMoreAdds(t *testing.T) {
+	var s Series
+	s.Add(10)
+	_ = s.Percentile(50)
+	s.Add(1) // must re-sort
+	if got := s.Percentile(50); got != 1 {
+		t.Fatalf("p50 after add = %v, want 1", got)
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	var s Series
+	s.AddDuration(time.Millisecond)
+	s.AddDuration(3 * time.Millisecond)
+	if got := s.MeanDuration(); got != 2*time.Millisecond {
+		t.Fatalf("mean duration = %v", got)
+	}
+	if got := s.DurationPercentile(100); got != 3*time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+}
+
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{10, 10, 10}); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("equal allocations Jain = %v", got)
+	}
+	unfair := Jain([]float64{30, 0, 0})
+	if math.Abs(unfair-1.0/3) > 1e-9 {
+		t.Fatalf("maximally unfair Jain = %v, want 1/3", unfair)
+	}
+	if Jain(nil) != 0 {
+		t.Fatal("empty Jain should be 0")
+	}
+	if Jain([]float64{0, 0}) != 1 {
+		t.Fatal("all-zero allocations are (vacuously) fair")
+	}
+}
+
+func TestGbps(t *testing.T) {
+	// 125 MB in 10ms = 100 Gbps.
+	if got := Gbps(125_000_000, 10*time.Millisecond); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("Gbps = %v", got)
+	}
+	if Gbps(100, 0) != 0 {
+		t.Fatal("zero duration should be 0")
+	}
+}
+
+func TestRateSeries(t *testing.T) {
+	r := NewRateSeries(time.Millisecond)
+	r.Record(sim.Time(500_000), 125_000)   // bucket 0: 1 Gbps
+	r.Record(sim.Time(1_500_000), 250_000) // bucket 1: 2 Gbps
+	r.Record(sim.Time(1_600_000), 250_000) // bucket 1: now 4 Gbps
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if got := r.GbpsAt(0); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("bucket 0 = %v", got)
+	}
+	if got := r.GbpsAt(1); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("bucket 1 = %v", got)
+	}
+	if r.GbpsAt(-1) != 0 || r.GbpsAt(99) != 0 {
+		t.Fatal("out-of-range buckets should be 0")
+	}
+	if r.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+// Property: percentile is monotonic in p and bounded by min/max.
+func TestQuickPercentileMonotonic(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Series
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			s.Add(v)
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 1.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Jain's index is within (0, 1] for any non-empty non-negative
+// allocation.
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v)
+		}
+		j := Jain(vals)
+		return j > 0 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package swtransport models the software transport baselines the paper
+// compares Falcon against: Pony Express (Snap's transport, Figure 1,
+// Figure 20a, Figure 29) and the legacy kernel-TCP stack used by the MPI
+// baseline (Figures 25–31).
+//
+// A software transport's defining constraints are CPU-side, not wire-side:
+// every operation consumes per-core CPU time (bounding op rate at
+// cores/PerOpCost), traverses the stack (fixed latency), and occasionally
+// eats a scheduling hiccup (the long tail the paper's Figure 1 shows at
+// 10x Falcon's). The wire itself is the same netsim fabric Falcon uses.
+// Loss handling is omitted: the experiments that use these baselines run on
+// unimpaired paths.
+package swtransport
+
+import (
+	"time"
+
+	"falcon/internal/netsim"
+	"falcon/internal/sim"
+)
+
+// Profile characterizes one software stack.
+type Profile struct {
+	Name string
+	// PerOpCost is the CPU time one operation costs on one core.
+	PerOpCost time.Duration
+	// PerByteCostNs is the additional CPU time per payload byte in
+	// nanoseconds (memory copies, checksums): the term that caps a
+	// software stack's bandwidth well below the wire.
+	PerByteCostNs float64
+	// Cores is the number of cores the transport may use.
+	Cores int
+	// StackLatency is the fixed one-way stack traversal latency.
+	StackLatency time.Duration
+	// JitterEvery and JitterDelay model scheduling hiccups: every N-th
+	// op (per node) is delayed by JitterDelay. This produces the heavy
+	// p99 tail software stacks exhibit.
+	JitterEvery int
+	JitterDelay time.Duration
+	// MaxGbps caps per-connection throughput (memory copies, single
+	// path).
+	MaxGbps float64
+	// MTU segments large transfers on the wire.
+	MTU int
+}
+
+// PonyExpress returns the optimized-userspace-transport profile: ~24 Mops
+// aggregate (Figure 1 shows Falcon at ~5x this) with a scheduling tail.
+func PonyExpress() Profile {
+	return Profile{
+		Name:          "pony-express",
+		PerOpCost:     330 * time.Nanosecond,
+		PerByteCostNs: 0.5,
+		Cores:         8,
+		StackLatency:  3 * time.Microsecond,
+		JitterEvery:   200,
+		JitterDelay:   40 * time.Microsecond,
+		MaxGbps:       100,
+		MTU:           4096,
+	}
+}
+
+// TCP returns the kernel-stack profile used by the legacy MPI baseline:
+// much higher per-message cost (syscalls, interrupts) and deeper stack
+// latency.
+func TCP() Profile {
+	return Profile{
+		Name:          "tcp",
+		PerOpCost:     2 * time.Microsecond,
+		PerByteCostNs: 0.8,
+		Cores:         8,
+		StackLatency:  12 * time.Microsecond,
+		JitterEvery:   100,
+		JitterDelay:   80 * time.Microsecond,
+		MaxGbps:       60,
+		MTU:           4096,
+	}
+}
+
+// msg is the wire payload.
+type msg struct {
+	conn    uint32
+	last    bool
+	bytes   int // this fragment's payload
+	total   int // whole message payload
+	deliver func()
+}
+
+// Node is one host's software transport instance.
+type Node struct {
+	sim     *sim.Simulator
+	host    *netsim.Host
+	profile Profile
+
+	coreFree []sim.Time
+	opCount  uint64
+
+	// Stats
+	Ops uint64
+}
+
+// NewNode attaches a software transport to a fabric host.
+func NewNode(s *sim.Simulator, host *netsim.Host, p Profile) *Node {
+	if p.Cores <= 0 {
+		p.Cores = 1
+	}
+	if p.MTU <= 0 {
+		p.MTU = 4096
+	}
+	n := &Node{sim: s, host: host, profile: p, coreFree: make([]sim.Time, p.Cores)}
+	host.SetHandler(n)
+	return n
+}
+
+// HandleFrame implements netsim.Handler: receiver-side CPU processing.
+func (n *Node) HandleFrame(f *netsim.Frame) {
+	m, ok := f.Payload.(*msg)
+	if !ok {
+		return
+	}
+	if !m.last {
+		return // only the final fragment pays the op cost & completes
+	}
+	n.cpu(m.total, func() {
+		if m.deliver != nil {
+			n.sim.After(n.profile.StackLatency, m.deliver)
+		}
+	})
+}
+
+// cpu schedules fn after the transport's CPU admission: earliest-free core
+// plus the per-op and per-byte cost, with periodic scheduling jitter.
+func (n *Node) cpu(bytes int, fn func()) {
+	n.Ops++
+	n.opCount++
+	best := 0
+	for i, f := range n.coreFree {
+		if f < n.coreFree[best] {
+			best = i
+		}
+	}
+	start := n.sim.Now()
+	if n.coreFree[best] > start {
+		start = n.coreFree[best]
+	}
+	cost := n.profile.PerOpCost + time.Duration(float64(bytes)*n.profile.PerByteCostNs)
+	if n.profile.JitterEvery > 0 && n.opCount%uint64(n.profile.JitterEvery) == 0 {
+		cost += n.profile.JitterDelay
+	}
+	done := start.Add(cost)
+	n.coreFree[best] = done
+	n.sim.At(done, fn)
+}
+
+// CPUBacklog returns how far the busiest core is scheduled into the
+// future, a load signal for benchmarks.
+func (n *Node) CPUBacklog() time.Duration {
+	max := sim.Time(0)
+	for _, f := range n.coreFree {
+		if f > max {
+			max = f
+		}
+	}
+	now := n.sim.Now()
+	if max <= now {
+		return 0
+	}
+	return max.Sub(now)
+}
+
+// Conn is a software-transport connection.
+type Conn struct {
+	node *Node
+	peer *Node
+	id   uint32
+
+	nextSend sim.Time
+}
+
+// Connect creates a connection between two software-transport nodes.
+func Connect(a, b *Node, id uint32) *Conn {
+	return &Conn{node: a, peer: b, id: id}
+}
+
+// Send transfers n bytes one way; done fires when the receiver's stack has
+// delivered the message to the application.
+func (c *Conn) Send(n int, done func()) {
+	c.node.cpu(n, func() { c.transmit(n, done) })
+}
+
+// Call performs a request-response op: n bytes out, respBytes back; done
+// fires when the response lands at the caller.
+func (c *Conn) Call(n, respBytes int, done func()) {
+	c.Send(n, func() {
+		// Response path from the peer.
+		reverse := &Conn{node: c.peer, peer: c.node, id: c.id}
+		reverse.Send(respBytes, done)
+	})
+}
+
+// transmit segments and paces a message onto the wire.
+func (c *Conn) transmit(n int, done func()) {
+	p := c.node.profile
+	now := c.node.sim.Now()
+	if c.nextSend < now {
+		c.nextSend = now
+	}
+	remaining := n
+	for {
+		seg := remaining
+		if seg > p.MTU {
+			seg = p.MTU
+		}
+		remaining -= seg
+		last := remaining <= 0
+		frame := &netsim.Frame{
+			Dst:      c.peer.host.ID,
+			FlowHash: uint64(c.id), // single path
+			Size:     seg + 66,     // TCP/IP + Ethernet headers
+			Payload:  &msg{conn: c.id, last: last, bytes: seg, total: n, deliver: done},
+		}
+		// Pace at the stack's throughput cap.
+		gap := time.Duration(float64(seg+66) * 8 / p.MaxGbps)
+		at := c.nextSend
+		c.nextSend = c.nextSend.Add(gap)
+		c.node.sim.At(at.Add(p.StackLatency), func() { c.node.host.Send(frame) })
+		if last {
+			break
+		}
+	}
+}

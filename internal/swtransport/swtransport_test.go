@@ -1,0 +1,148 @@
+package swtransport
+
+import (
+	"testing"
+	"time"
+
+	"falcon/internal/netsim"
+	"falcon/internal/sim"
+)
+
+var testLink = netsim.LinkConfig{GbpsRate: 100, PropDelay: time.Microsecond}
+
+func pairNodes(t *testing.T, p Profile) (*sim.Simulator, *Conn, *Node, *Node) {
+	t.Helper()
+	s := sim.New(23)
+	topo, _ := netsim.PointToPoint(s, testLink)
+	a := NewNode(s, topo.Hosts[0], p)
+	b := NewNode(s, topo.Hosts[1], p)
+	return s, Connect(a, b, 1), a, b
+}
+
+func TestSendDelivers(t *testing.T) {
+	s, c, _, _ := pairNodes(t, PonyExpress())
+	var at sim.Time
+	c.Send(8192, func() { at = s.Now() })
+	s.Run()
+	if at == 0 {
+		t.Fatal("message never delivered")
+	}
+	// Must include two stack latencies plus wire time.
+	if at < sim.Time(2*3*time.Microsecond) {
+		t.Fatalf("delivered at %v, faster than the stack allows", at)
+	}
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s, c, _, _ := pairNodes(t, PonyExpress())
+	var at sim.Time
+	c.Call(64, 64, func() { at = s.Now() })
+	s.Run()
+	if at == 0 {
+		t.Fatal("call never completed")
+	}
+	oneWay := sim.Time(0)
+	_ = oneWay
+	// Round trip: >= 4 stack latencies.
+	if at < sim.Time(4*3*time.Microsecond) {
+		t.Fatalf("round trip %v too fast", at)
+	}
+}
+
+func TestOpRateBoundedByCPU(t *testing.T) {
+	p := PonyExpress()
+	s, c, a, _ := pairNodes(t, p)
+	const n = 10000
+	done := 0
+	for i := 0; i < n; i++ {
+		c.Send(8, func() { done++ })
+	}
+	s.Run()
+	if done != n {
+		t.Fatalf("delivered %d", done)
+	}
+	// Sender-side CPU: n ops over Cores cores at PerOpCost each.
+	minDuration := time.Duration(n/p.Cores) * p.PerOpCost
+	if got := s.Now().Duration(); got < minDuration {
+		t.Fatalf("finished in %v; CPU bound is %v", got, minDuration)
+	}
+	if a.Ops != n {
+		t.Fatalf("sender ops = %d", a.Ops)
+	}
+}
+
+func TestJitterCreatesTail(t *testing.T) {
+	p := PonyExpress()
+	s, c, _, _ := pairNodes(t, p)
+	var latencies []time.Duration
+	issued := 0
+	var issue func()
+	issue = func() {
+		if issued >= 2000 {
+			return
+		}
+		issued++
+		start := s.Now()
+		c.Call(64, 64, func() {
+			latencies = append(latencies, s.Now().Sub(start))
+			issue()
+		})
+	}
+	issue()
+	s.Run()
+	if len(latencies) != 2000 {
+		t.Fatalf("completed %d", len(latencies))
+	}
+	var max, min time.Duration
+	min = time.Hour
+	for _, l := range latencies {
+		if l > max {
+			max = l
+		}
+		if l < min {
+			min = l
+		}
+	}
+	if max < min*3 {
+		t.Fatalf("tail %v not much above floor %v; jitter missing", max, min)
+	}
+}
+
+func TestThroughputCap(t *testing.T) {
+	p := PonyExpress()
+	p.MaxGbps = 10
+	s, c, _, _ := pairNodes(t, p)
+	var doneAt sim.Time
+	c.Send(10_000_000, func() { doneAt = s.Now() }) // 80 Mbit at 10G = 8ms
+	s.Run()
+	if doneAt < sim.Time(7*time.Millisecond) {
+		t.Fatalf("10MB at 10Gbps done in %v; cap not enforced", doneAt)
+	}
+}
+
+func TestTCPProfileSlowerThanPony(t *testing.T) {
+	latency := func(p Profile) sim.Time {
+		s, c, _, _ := pairNodes(t, p)
+		var at sim.Time
+		c.Call(64, 64, func() { at = s.Now() })
+		s.Run()
+		return at
+	}
+	if latency(TCP()) <= latency(PonyExpress()) {
+		t.Fatal("TCP round trip should be slower than Pony Express")
+	}
+}
+
+func TestCPUBacklogSignal(t *testing.T) {
+	s, c, a, _ := pairNodes(t, PonyExpress())
+	for i := 0; i < 1000; i++ {
+		c.Send(8, nil)
+	}
+	if a.CPUBacklog() == 0 {
+		t.Fatal("burst should create CPU backlog")
+	}
+	s.Run()
+	if a.CPUBacklog() != 0 {
+		t.Fatal("backlog should drain")
+	}
+}

@@ -1,0 +1,218 @@
+// Package timingwheel implements the Carousel-style timing wheel Falcon
+// uses for fine-grained traffic pacing (Saeed et al., SIGCOMM 2017; §3.2 D1
+// and Figure 7's standalone TW block).
+//
+// The wheel quantizes release times into fixed-granularity slots arranged in
+// a ring. Items scheduled beyond the horizon are parked in an overflow list
+// and re-inserted as the wheel turns. Within a slot, items are released in
+// insertion order, which preserves per-connection packet order for equal
+// release times.
+//
+// The wheel is driven by the discrete-event simulator: it arms a single
+// sim.Timer for the earliest non-empty slot, so an idle wheel costs nothing.
+package timingwheel
+
+import (
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// Item is a unit of paced work; typically a closure that transmits one
+// packet.
+type Item func()
+
+type slot struct {
+	items []Item
+}
+
+// Wheel is a hashed timing wheel bound to a simulator.
+type Wheel struct {
+	sim         *sim.Simulator
+	granularity time.Duration
+	numSlots    int
+
+	slots    []slot
+	baseTime sim.Time // release time of slots[baseIdx]
+	baseIdx  int
+	pending  int
+
+	// overflow holds items beyond the horizon, each with its desired
+	// release time; re-examined whenever the wheel advances.
+	overflow []overflowItem
+
+	timer   sim.Timer
+	started bool
+
+	// MaxOccupancy tracks the high-water mark of queued items, a proxy
+	// for the hardware wheel's memory requirement.
+	MaxOccupancy int
+}
+
+type overflowItem struct {
+	at   sim.Time
+	item Item
+}
+
+// New creates a wheel with the given slot granularity and slot count. The
+// horizon is granularity*numSlots. Typical Falcon settings: 512ns
+// granularity, 4096 slots (~2ms horizon).
+func New(s *sim.Simulator, granularity time.Duration, numSlots int) *Wheel {
+	if granularity <= 0 {
+		panic("timingwheel: granularity must be positive")
+	}
+	if numSlots < 2 {
+		panic("timingwheel: need at least 2 slots")
+	}
+	return &Wheel{
+		sim:         s,
+		granularity: granularity,
+		numSlots:    numSlots,
+		slots:       make([]slot, numSlots),
+	}
+}
+
+// Horizon returns the furthest future release time the ring can hold.
+func (w *Wheel) Horizon() time.Duration {
+	return w.granularity * time.Duration(w.numSlots)
+}
+
+// Len returns the number of queued items, including overflow.
+func (w *Wheel) Len() int { return w.pending + len(w.overflow) }
+
+// Schedule enqueues item for release at time at. Times in the past release
+// on the next wheel turn (immediately, via a zero-delay event). Times beyond
+// the horizon go to the overflow list.
+func (w *Wheel) Schedule(at sim.Time, item Item) {
+	now := w.sim.Now()
+	if at < now {
+		at = now
+	}
+	if !w.started {
+		// Align the ring base to the current time on first use.
+		w.baseTime = now
+		w.started = true
+	}
+	w.advanceBase(now)
+
+	// Round up to the next slot boundary so items are never released
+	// before their requested time (pacing must not burst early).
+	offset := int((at - w.baseTime + sim.Time(w.granularity) - 1) / sim.Time(w.granularity))
+	if offset >= w.numSlots {
+		w.overflow = append(w.overflow, overflowItem{at: at, item: item})
+		if w.Len() > w.MaxOccupancy {
+			w.MaxOccupancy = w.Len()
+		}
+		w.arm()
+		return
+	}
+	idx := (w.baseIdx + offset) % w.numSlots
+	w.slots[idx].items = append(w.slots[idx].items, item)
+	w.pending++
+	if w.Len() > w.MaxOccupancy {
+		w.MaxOccupancy = w.Len()
+	}
+	w.arm()
+}
+
+// ScheduleAfter enqueues item for release d from now.
+func (w *Wheel) ScheduleAfter(d time.Duration, item Item) {
+	w.Schedule(w.sim.Now().Add(d), item)
+}
+
+// advanceBase rotates the ring so baseTime covers now. Slots skipped over
+// must already be empty (their timers fired) — if not, their items are due
+// and get flushed.
+func (w *Wheel) advanceBase(now sim.Time) {
+	for w.baseTime.Add(w.granularity) <= now {
+		// Flush anything still in the base slot (due in the past).
+		w.flushSlot(w.baseIdx)
+		w.baseIdx = (w.baseIdx + 1) % w.numSlots
+		w.baseTime = w.baseTime.Add(w.granularity)
+	}
+}
+
+func (w *Wheel) flushSlot(idx int) {
+	items := w.slots[idx].items
+	if len(items) == 0 {
+		return
+	}
+	w.slots[idx].items = nil
+	w.pending -= len(items)
+	for _, it := range items {
+		it()
+	}
+}
+
+// nextDue returns the release time of the earliest queued item and whether
+// one exists.
+func (w *Wheel) nextDue() (sim.Time, bool) {
+	if w.pending > 0 {
+		for i := 0; i < w.numSlots; i++ {
+			idx := (w.baseIdx + i) % w.numSlots
+			if len(w.slots[idx].items) > 0 {
+				return w.baseTime.Add(time.Duration(i) * w.granularity), true
+			}
+		}
+	}
+	if len(w.overflow) > 0 {
+		min := w.overflow[0].at
+		for _, o := range w.overflow[1:] {
+			if o.at < min {
+				min = o.at
+			}
+		}
+		return min, true
+	}
+	return 0, false
+}
+
+// arm (re)schedules the wheel's driver event for the earliest due slot.
+func (w *Wheel) arm() {
+	due, ok := w.nextDue()
+	if !ok {
+		return
+	}
+	if w.timer.Pending() {
+		w.timer.Stop()
+	}
+	if due < w.sim.Now() {
+		due = w.sim.Now()
+	}
+	w.timer = w.sim.At(due, w.tick)
+}
+
+// tick fires due slots and migrates overflow items that now fit the ring.
+func (w *Wheel) tick() {
+	now := w.sim.Now()
+	w.advanceBase(now)
+	// The base slot is due if its release time has arrived.
+	if w.baseTime <= now {
+		w.flushSlot(w.baseIdx)
+	}
+	// Migrate overflow items that now fit within the ring.
+	if len(w.overflow) > 0 {
+		keep := w.overflow[:0]
+		for _, o := range w.overflow {
+			at := o.at
+			if at < now {
+				at = now
+			}
+			offset := int((at - w.baseTime + sim.Time(w.granularity) - 1) / sim.Time(w.granularity))
+			if offset >= w.numSlots {
+				keep = append(keep, o)
+				continue
+			}
+			if offset == 0 && w.baseTime <= now {
+				// Due immediately.
+				o.item()
+				continue
+			}
+			idx := (w.baseIdx + offset) % w.numSlots
+			w.slots[idx].items = append(w.slots[idx].items, o.item)
+			w.pending++
+		}
+		w.overflow = keep
+	}
+	w.arm()
+}

@@ -1,0 +1,172 @@
+package timingwheel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+func TestReleaseAtScheduledSlot(t *testing.T) {
+	s := sim.New(1)
+	w := New(s, 100*time.Nanosecond, 64)
+	var fired sim.Time
+	w.Schedule(sim.Time(550), func() { fired = s.Now() })
+	s.Run()
+	// 550ns rounds into the slot covering [500,600); release at slot time.
+	if fired < 500 || fired > 600 {
+		t.Fatalf("fired at %v, want within slot of 550ns", fired)
+	}
+}
+
+func TestFIFOWithinSlot(t *testing.T) {
+	s := sim.New(1)
+	w := New(s, time.Microsecond, 16)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		w.Schedule(sim.Time(1500), func() { got = append(got, i) })
+	}
+	s.Run()
+	if len(got) != 10 {
+		t.Fatalf("released %d items", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("slot order violated: %v", got)
+		}
+	}
+}
+
+func TestPastScheduleFiresImmediately(t *testing.T) {
+	s := sim.New(1)
+	w := New(s, time.Microsecond, 16)
+	s.At(5000, func() {
+		w.Schedule(sim.Time(100), func() {
+			if s.Now() != 5000 {
+				t.Errorf("past item fired at %v, want 5000", s.Now())
+			}
+		})
+	})
+	s.Run()
+	if w.Len() != 0 {
+		t.Fatalf("wheel not drained: %d", w.Len())
+	}
+}
+
+func TestOverflowBeyondHorizon(t *testing.T) {
+	s := sim.New(1)
+	w := New(s, time.Microsecond, 8) // 8us horizon
+	var fired sim.Time
+	w.Schedule(sim.Time(50*1000), func() { fired = s.Now() }) // 50us out
+	if len(w.overflow) != 1 {
+		t.Fatalf("expected overflow, got %d", len(w.overflow))
+	}
+	s.Run()
+	if fired < 49_000 || fired > 51_000 {
+		t.Fatalf("overflow item fired at %v, want ~50us", fired)
+	}
+}
+
+func TestOrderAcrossSlots(t *testing.T) {
+	s := sim.New(1)
+	w := New(s, 100*time.Nanosecond, 32)
+	var got []sim.Time
+	times := []sim.Time{2900, 300, 1500, 700, 2200}
+	for _, at := range times {
+		w.Schedule(at, func() { got = append(got, s.Now()) })
+	}
+	s.Run()
+	if len(got) != len(times) {
+		t.Fatalf("released %d of %d", len(got), len(times))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("release times not sorted: %v", got)
+	}
+}
+
+func TestIdleWheelCostsNothing(t *testing.T) {
+	s := sim.New(1)
+	_ = New(s, time.Microsecond, 128)
+	if s.Pending() != 0 {
+		t.Fatal("fresh wheel armed a timer")
+	}
+}
+
+func TestContinuousPacing(t *testing.T) {
+	// Pace 1000 packets at one per 500ns; all should be released, in
+	// order, roughly at the target rate.
+	s := sim.New(1)
+	w := New(s, 100*time.Nanosecond, 64)
+	var releases []sim.Time
+	next := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		next = next.Add(500 * time.Nanosecond)
+		w.Schedule(next, func() { releases = append(releases, s.Now()) })
+	}
+	s.Run()
+	if len(releases) != 1000 {
+		t.Fatalf("released %d, want 1000", len(releases))
+	}
+	total := releases[len(releases)-1] - releases[0]
+	if total < sim.Time(400*1000) || total > sim.Time(600*1000) {
+		t.Fatalf("1000 releases spread over %v, want ~500us", total.Duration())
+	}
+	if w.MaxOccupancy < 100 {
+		t.Logf("max occupancy %d", w.MaxOccupancy)
+	}
+}
+
+func TestRandomizedReleaseNeverEarly(t *testing.T) {
+	s := sim.New(3)
+	w := New(s, 250*time.Nanosecond, 32)
+	rng := rand.New(rand.NewSource(9))
+	type exp struct {
+		at    sim.Time
+		fired sim.Time
+	}
+	var exps []*exp
+	for i := 0; i < 500; i++ {
+		e := &exp{at: sim.Time(rng.Intn(200_000))}
+		exps = append(exps, e)
+		w.Schedule(e.at, func() { e.fired = s.Now() })
+	}
+	s.Run()
+	for i, e := range exps {
+		if e.fired == 0 && e.at != 0 {
+			t.Fatalf("item %d never fired", i)
+		}
+		// Round-up slot quantization: release must never be early.
+		if e.fired < e.at {
+			t.Fatalf("item %d released at %v, requested %v", i, e.fired, e.at)
+		}
+	}
+}
+
+func TestHorizonAccessor(t *testing.T) {
+	s := sim.New(1)
+	w := New(s, 512*time.Nanosecond, 4096)
+	if got := w.Horizon(); got != 512*4096*time.Nanosecond {
+		t.Fatalf("Horizon = %v", got)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	s := sim.New(1)
+	for _, fn := range []func(){
+		func() { New(s, 0, 16) },
+		func() { New(s, -time.Microsecond, 16) },
+		func() { New(s, time.Microsecond, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,174 @@
+package workload
+
+// MPI collectives over a Messenger, structured as lockstep phases: every
+// phase issues its messages, and the next phase begins when all of them
+// have been delivered. This reproduces the completion-time behaviour of
+// barrier-synchronized collective implementations (Intel MPI Benchmarks
+// measure exactly this), while letting the transport underneath determine
+// per-message latency and bandwidth.
+
+// phase delivers all sends of one step, then calls next.
+type phase struct {
+	m       Messenger
+	pending int
+	next    func()
+}
+
+func runPhase(m Messenger, sends [][3]int, next func()) {
+	if len(sends) == 0 {
+		next()
+		return
+	}
+	p := &phase{m: m, pending: len(sends), next: next}
+	for _, s := range sends {
+		from, to, n := s[0], s[1], s[2]
+		m.Send(from, to, n, p.done)
+	}
+}
+
+func (p *phase) done() {
+	p.pending--
+	if p.pending == 0 {
+		p.next()
+	}
+}
+
+// AllReduce reduces `bytes` across all ranks and leaves the result
+// everywhere. Small messages use recursive doubling (log2(p) exchanges of
+// the full buffer); large messages use the ring algorithm (2(p-1) steps of
+// bytes/p chunks). done fires when every rank holds the result.
+func AllReduce(m Messenger, bytes int, done func()) {
+	p := m.Ranks()
+	if p <= 1 {
+		done()
+		return
+	}
+	if bytes <= 8192 && isPow2(p) {
+		recursiveDoubling(m, bytes, done)
+		return
+	}
+	ringAllReduce(m, bytes, done)
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// recursiveDoubling: log2(p) phases; in phase k, rank r exchanges the full
+// buffer with rank r XOR 2^k.
+func recursiveDoubling(m Messenger, bytes int, done func()) {
+	p := m.Ranks()
+	var step func(k int)
+	step = func(k int) {
+		if 1<<k >= p {
+			done()
+			return
+		}
+		var sends [][3]int
+		for r := 0; r < p; r++ {
+			sends = append(sends, [3]int{r, r ^ (1 << k), bytes})
+		}
+		runPhase(m, sends, func() { step(k + 1) })
+	}
+	step(0)
+}
+
+// ringAllReduce: reduce-scatter then allgather, 2(p-1) phases of
+// ceil(bytes/p) chunk sends to the right neighbor.
+func ringAllReduce(m Messenger, bytes int, done func()) {
+	p := m.Ranks()
+	chunk := (bytes + p - 1) / p
+	if chunk < 1 {
+		chunk = 1
+	}
+	total := 2 * (p - 1)
+	var step func(k int)
+	step = func(k int) {
+		if k >= total {
+			done()
+			return
+		}
+		var sends [][3]int
+		for r := 0; r < p; r++ {
+			sends = append(sends, [3]int{r, (r + 1) % p, chunk})
+		}
+		runPhase(m, sends, func() { step(k + 1) })
+	}
+	step(0)
+}
+
+// AllToAll exchanges `bytes` between every pair of ranks: p-1 phases, in
+// phase k rank r sends its block to (r+k) mod p.
+func AllToAll(m Messenger, bytes int, done func()) {
+	p := m.Ranks()
+	if p <= 1 {
+		done()
+		return
+	}
+	var step func(k int)
+	step = func(k int) {
+		if k >= p {
+			done()
+			return
+		}
+		var sends [][3]int
+		for r := 0; r < p; r++ {
+			sends = append(sends, [3]int{r, (r + k) % p, bytes})
+		}
+		runPhase(m, sends, func() { step(k + 1) })
+	}
+	step(1)
+}
+
+// AllGather gathers each rank's `bytes` everywhere: ring with p-1 phases
+// of full-block sends.
+func AllGather(m Messenger, bytes int, done func()) {
+	p := m.Ranks()
+	if p <= 1 {
+		done()
+		return
+	}
+	var step func(k int)
+	step = func(k int) {
+		if k >= p-1 {
+			done()
+			return
+		}
+		var sends [][3]int
+		for r := 0; r < p; r++ {
+			sends = append(sends, [3]int{r, (r + 1) % p, bytes})
+		}
+		runPhase(m, sends, func() { step(k + 1) })
+	}
+	step(0)
+}
+
+// MultiPingPong pairs rank r with rank r+p/2 and runs `iters` ping-pongs
+// of `bytes` per pair concurrently. done fires when every pair finishes.
+func MultiPingPong(m Messenger, bytes, iters int, done func()) {
+	p := m.Ranks()
+	pairs := p / 2
+	if pairs == 0 {
+		done()
+		return
+	}
+	remaining := pairs
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	for i := 0; i < pairs; i++ {
+		a, b := i, i+pairs
+		var ping func(k int)
+		ping = func(k int) {
+			if k >= iters {
+				finish()
+				return
+			}
+			m.Send(a, b, bytes, func() {
+				m.Send(b, a, bytes, func() { ping(k + 1) })
+			})
+		}
+		ping(0)
+	}
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// ClosedLoop keeps `window` operations outstanding until `total` have been
+// issued; done (optional) fires when all complete. issue must invoke its
+// callback exactly once per operation and may return false to signal
+// temporary backpressure (the loop retries after a pause).
+type ClosedLoop struct {
+	sim    *sim.Simulator
+	window int
+	total  int
+	issue  func(opDone func()) bool
+	done   func()
+
+	issued    int
+	inflight  int
+	completed int
+}
+
+// NewClosedLoop builds the issuer; call Start to begin.
+func NewClosedLoop(s *sim.Simulator, window, total int, issue func(opDone func()) bool, done func()) *ClosedLoop {
+	if window <= 0 {
+		window = 1
+	}
+	return &ClosedLoop{sim: s, window: window, total: total, issue: issue, done: done}
+}
+
+// Start issues the initial window.
+func (c *ClosedLoop) Start() { c.pump() }
+
+// Completed reports finished operations.
+func (c *ClosedLoop) Completed() int { return c.completed }
+
+func (c *ClosedLoop) pump() {
+	for c.inflight < c.window && c.issued < c.total {
+		ok := c.issue(c.opDone)
+		if !ok {
+			// Backpressured: retry after a pause.
+			c.sim.After(20*time.Microsecond, c.pump)
+			return
+		}
+		c.issued++
+		c.inflight++
+	}
+}
+
+func (c *ClosedLoop) opDone() {
+	c.inflight--
+	c.completed++
+	if c.completed == c.total {
+		if c.done != nil {
+			c.done()
+		}
+		return
+	}
+	c.pump()
+}
+
+// Poisson issues operations with exponential inter-arrival times at the
+// given rate (ops/sec) until `total` have been issued. Operations are
+// open-loop: issuance does not wait for completions.
+type Poisson struct {
+	sim   *sim.Simulator
+	rng   *rand.Rand
+	rate  float64
+	total int
+	issue func()
+
+	issued int
+}
+
+// NewPoisson builds the issuer; call Start to begin.
+func NewPoisson(s *sim.Simulator, rng *rand.Rand, rate float64, total int, issue func()) *Poisson {
+	if rate <= 0 {
+		panic("workload: poisson rate must be positive")
+	}
+	return &Poisson{sim: s, rng: rng, rate: rate, total: total, issue: issue}
+}
+
+// Start schedules the first arrival.
+func (p *Poisson) Start() { p.next() }
+
+func (p *Poisson) next() {
+	if p.issued >= p.total {
+		return
+	}
+	gap := time.Duration(p.rng.ExpFloat64() / p.rate * 1e9)
+	p.sim.After(gap, func() {
+		p.issued++
+		p.issue()
+		p.next()
+	})
+}

@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"falcon/internal/sim"
+	"falcon/internal/swtransport"
+)
+
+// fakeMessenger delivers after a fixed latency plus a bandwidth term, and
+// records traffic.
+type fakeMessenger struct {
+	s       *sim.Simulator
+	ranks   int
+	latency time.Duration
+	gbps    float64
+	sends   [][3]int
+}
+
+func (f *fakeMessenger) Ranks() int { return f.ranks }
+
+func (f *fakeMessenger) Send(from, to, n int, done func()) {
+	f.sends = append(f.sends, [3]int{from, to, n})
+	d := f.latency + time.Duration(float64(n)*8/f.gbps)
+	f.s.After(d, done)
+}
+
+func newFake(ranks int) (*sim.Simulator, *fakeMessenger) {
+	s := sim.New(1)
+	return s, &fakeMessenger{s: s, ranks: ranks, latency: 5 * time.Microsecond, gbps: 100}
+}
+
+func TestAllReduceSmallUsesRecursiveDoubling(t *testing.T) {
+	s, m := newFake(8)
+	done := false
+	AllReduce(m, 64, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("allreduce never completed")
+	}
+	// log2(8)=3 phases x 8 ranks = 24 sends.
+	if len(m.sends) != 24 {
+		t.Fatalf("sends = %d, want 24", len(m.sends))
+	}
+}
+
+func TestAllReduceLargeUsesRing(t *testing.T) {
+	s, m := newFake(4)
+	done := false
+	AllReduce(m, 1<<20, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("never completed")
+	}
+	// 2(p-1)=6 phases x 4 ranks = 24 sends of bytes/p each.
+	if len(m.sends) != 24 {
+		t.Fatalf("sends = %d, want 24", len(m.sends))
+	}
+	if m.sends[0][2] != (1<<20)/4 {
+		t.Fatalf("chunk = %d", m.sends[0][2])
+	}
+}
+
+func TestAllReduceSingleRank(t *testing.T) {
+	s, m := newFake(1)
+	done := false
+	AllReduce(m, 100, func() { done = true })
+	s.Run()
+	if !done || len(m.sends) != 0 {
+		t.Fatal("single-rank allreduce should be a no-op")
+	}
+}
+
+func TestAllToAllSendCount(t *testing.T) {
+	s, m := newFake(6)
+	done := false
+	AllToAll(m, 512, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("never completed")
+	}
+	// (p-1) phases x p ranks.
+	if len(m.sends) != 5*6 {
+		t.Fatalf("sends = %d, want 30", len(m.sends))
+	}
+	// Every rank pair (i != j) covered exactly once.
+	seen := map[[2]int]int{}
+	for _, snd := range m.sends {
+		seen[[2]int{snd[0], snd[1]}]++
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if i == j {
+				continue
+			}
+			if seen[[2]int{i, j}] != 1 {
+				t.Fatalf("pair (%d,%d) sent %d times", i, j, seen[[2]int{i, j}])
+			}
+		}
+	}
+}
+
+func TestAllGatherPhases(t *testing.T) {
+	s, m := newFake(5)
+	done := false
+	AllGather(m, 1000, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("never completed")
+	}
+	if len(m.sends) != 4*5 {
+		t.Fatalf("sends = %d, want 20", len(m.sends))
+	}
+}
+
+func TestMultiPingPong(t *testing.T) {
+	s, m := newFake(8)
+	done := false
+	MultiPingPong(m, 64, 10, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("never completed")
+	}
+	// 4 pairs x 10 iters x 2 directions.
+	if len(m.sends) != 80 {
+		t.Fatalf("sends = %d, want 80", len(m.sends))
+	}
+}
+
+func TestLargerCollectiveTakesLonger(t *testing.T) {
+	run := func(bytes int) sim.Time {
+		s, m := newFake(8)
+		AllReduce(m, bytes, func() {})
+		s.Run()
+		return s.Now()
+	}
+	if run(1<<20) <= run(64) {
+		t.Fatal("1MB allreduce should take longer than 64B")
+	}
+}
+
+func TestFalconMessengerEndToEnd(t *testing.T) {
+	s := sim.New(3)
+	m, _ := BuildFalconJob(s, 4, 2, 8)
+	done := false
+	AllReduce(m, 4096, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("allreduce over Falcon never completed")
+	}
+}
+
+func TestSWMessengerEndToEnd(t *testing.T) {
+	s := sim.New(3)
+	m, _ := BuildSWJob(s, 4, 2, 8, swtransport.TCP())
+	done := false
+	AllReduce(m, 4096, func() { done = true })
+	s.Run()
+	if !done {
+		t.Fatal("allreduce over TCP never completed")
+	}
+}
+
+func TestFalconBeatsTCPOnSmallAllToAll(t *testing.T) {
+	falcon := func() sim.Time {
+		s := sim.New(3)
+		m, _ := BuildFalconJob(s, 8, 4, 32)
+		AllToAll(m, 64, func() {})
+		s.Run()
+		return s.Now()
+	}()
+	tcp := func() sim.Time {
+		s := sim.New(3)
+		m, _ := BuildSWJob(s, 8, 4, 32, swtransport.TCP())
+		AllToAll(m, 64, func() {})
+		s.Run()
+		return s.Now()
+	}()
+	if falcon >= tcp {
+		t.Fatalf("Falcon small AllToAll (%v) should beat TCP (%v)", falcon, tcp)
+	}
+}
+
+func TestHPCModelScalesWithFastTransport(t *testing.T) {
+	perf := func(nodes int) float64 {
+		s := sim.New(3)
+		m, _ := BuildFalconJob(s, nodes, 1, nodes)
+		return RunHPC(s, m, DefaultGromacs(nodes))
+	}
+	p2, p8 := perf(2), perf(8)
+	if p8 <= p2 {
+		t.Fatalf("Falcon HPC should scale: %v steps/s at 2 nodes, %v at 8", p2, p8)
+	}
+}
+
+func TestMigrationRunsAllPhases(t *testing.T) {
+	s := sim.New(3)
+	// A fast synthetic pipe.
+	p := &fakePipe{s: s, gbps: 100, rtt: 20 * time.Microsecond}
+	cfg := DefaultMigration()
+	cfg.MemoryBytes = 256 << 20 // keep the test fast
+	res := RunMigration(s, p, cfg)
+	if res.PreCopy <= 0 || res.Blackout <= 0 || res.PostCopy <= 0 {
+		t.Fatalf("phases: %+v", res)
+	}
+	if res.GuestAccessRate <= 0 {
+		t.Fatal("guest access rate not measured")
+	}
+}
+
+type fakePipe struct {
+	s    *sim.Simulator
+	gbps float64
+	rtt  time.Duration
+}
+
+func (p *fakePipe) Transfer(n int, done func()) {
+	p.s.After(time.Duration(float64(n)*8/p.gbps), done)
+}
+func (p *fakePipe) Fetch(n int, done func()) { p.s.After(p.rtt, done) }
+
+func TestClosedLoopIssuesAll(t *testing.T) {
+	s := sim.New(1)
+	issued := 0
+	cl := NewClosedLoop(s, 4, 100, func(opDone func()) bool {
+		issued++
+		s.After(time.Microsecond, opDone)
+		return true
+	}, nil)
+	cl.Start()
+	s.Run()
+	if cl.Completed() != 100 || issued != 100 {
+		t.Fatalf("completed %d issued %d", cl.Completed(), issued)
+	}
+}
+
+func TestClosedLoopRespectsWindow(t *testing.T) {
+	s := sim.New(1)
+	inflight, maxInflight := 0, 0
+	cl := NewClosedLoop(s, 3, 50, func(opDone func()) bool {
+		inflight++
+		if inflight > maxInflight {
+			maxInflight = inflight
+		}
+		s.After(time.Microsecond, func() { inflight--; opDone() })
+		return true
+	}, nil)
+	cl.Start()
+	s.Run()
+	if maxInflight > 3 {
+		t.Fatalf("window exceeded: %d", maxInflight)
+	}
+}
+
+func TestClosedLoopRetriesBackpressure(t *testing.T) {
+	s := sim.New(1)
+	refusals := 3
+	cl := NewClosedLoop(s, 1, 5, func(opDone func()) bool {
+		if refusals > 0 {
+			refusals--
+			return false
+		}
+		s.After(time.Microsecond, opDone)
+		return true
+	}, nil)
+	cl.Start()
+	s.Run()
+	if cl.Completed() != 5 {
+		t.Fatalf("completed %d of 5 with backpressure", cl.Completed())
+	}
+}
+
+func TestPoissonIssuesAtRate(t *testing.T) {
+	s := sim.New(9)
+	count := 0
+	p := NewPoisson(s, s.Rand(), 1e6, 1000, func() { count++ })
+	p.Start()
+	s.Run()
+	if count != 1000 {
+		t.Fatalf("issued %d", count)
+	}
+	// 1000 ops at 1M/s ≈ 1ms total (loose bounds).
+	if s.Now() < sim.Time(300*time.Microsecond) || s.Now() > sim.Time(3*time.Millisecond) {
+		t.Fatalf("1000 arrivals took %v, want ~1ms", s.Now())
+	}
+}
