@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test short race sweep fuzz vet bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1: full unit + integration suite (sweeps at default breadth).
+test:
+	$(GO) test ./...
+
+# Quick iteration loop: long simulation sweeps skip or shrink.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full fault-sweep matrix and determinism checks, verbose.
+sweep:
+	$(GO) test -v -run 'TestSweep|TestDeterminism|TestExperimentDeterminism' \
+		./internal/testkit/ ./internal/experiments/
+
+# Wire-format fuzzing (bounded; remove -fuzztime to run until interrupted).
+fuzz:
+	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/falcon/wire/
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) run ./cmd/falconbench
+
+ci: vet build test race

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"falcon/internal/falcon/fae"
 	"falcon/internal/falcon/pdl"
@@ -72,7 +73,8 @@ func NewCluster(s *sim.Simulator) *Cluster {
 func (cl *Cluster) Sim() *sim.Simulator { return cl.sim }
 
 // Endpoints returns every live endpoint in the cluster (measurement
-// sweeps).
+// sweeps), ordered by (host, connection) so callers that fold over it with
+// order-sensitive side effects stay deterministic.
 func (cl *Cluster) Endpoints() []*Endpoint {
 	var out []*Endpoint
 	for _, n := range cl.nodes {
@@ -80,6 +82,12 @@ func (cl *Cluster) Endpoints() []*Endpoint {
 			out = append(out, ep)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].node.host.ID != out[j].node.host.ID {
+			return out[i].node.host.ID < out[j].node.host.ID
+		}
+		return out[i].id < out[j].id
+	})
 	return out
 }
 

@@ -168,6 +168,24 @@ type Callbacks struct {
 	CompletedRSN func() uint64
 }
 
+// Probe observes a connection's packet-level activity. It is the PDL's
+// verification hook: internal/testkit registers invariant checkers and
+// trace hashers through it. Both callbacks run synchronously after the
+// connection's state has been updated, so a probe sees post-event state.
+// The hook is compiled in but costs only a nil check when no probe is
+// attached (bench_test.go numbers are unaffected).
+type Probe interface {
+	// OnSend fires after a tracked data packet is (re)transmitted. p is
+	// the live packet; probes must not mutate it.
+	OnSend(c *Conn, p *wire.Packet, retransmit bool)
+	// OnReceive fires after an arriving packet (data, ACK or NACK) has
+	// been fully processed by the connection.
+	OnReceive(c *Conn, p *wire.Packet)
+}
+
+// SetProbe attaches a verification probe (nil detaches).
+func (c *Conn) SetProbe(p Probe) { c.probe = p }
+
 // txPacket tracks one outstanding transmitted packet (the per-packet
 // context of §5.2's hardware error handling).
 type txPacket struct {
@@ -188,6 +206,14 @@ type txSpace struct {
 	pkts  []*txPacket
 	// outstanding counts unacked transmitted packets.
 	outstanding int
+	// parked counts the subset of outstanding packets that are
+	// resource-NACKed and waiting for their scheduled backoff retransmit.
+	// The peer explicitly refused them, so they are known to have left the
+	// network and must not consume congestion window: otherwise a window
+	// full of refused packets deadlocks against a receiver that is
+	// refusing everything except the one head-of-line RSN still queued
+	// behind them (§4.5).
+	parked int
 }
 
 func (s *txSpace) slot(psn uint32) *txPacket { return s.pkts[int(psn)%len(s.pkts)] }
@@ -290,6 +316,9 @@ type Conn struct {
 	consecRTOs int
 	failed     bool
 
+	// probe, when non-nil, observes sends and receives (verification).
+	probe Probe
+
 	Stats Stats
 }
 
@@ -353,6 +382,42 @@ func NewConn(s *sim.Simulator, id uint32, cfg Config, cb Callbacks) *Conn {
 // ID returns the connection ID.
 func (c *Conn) ID() uint32 { return c.id }
 
+// Config returns the connection's configuration (after NewConn clamping).
+func (c *Conn) Config() Config { return c.cfg }
+
+// TxState exposes one sequence space's sender window for inspection:
+// the lowest unacked PSN, the next PSN to assign, and the count of
+// transmitted-but-unacked packets.
+func (c *Conn) TxState(space wire.Space) (base, next uint32, outstanding int) {
+	ts := c.tx[space]
+	return ts.base, ts.next, ts.outstanding
+}
+
+// TxUnacked recounts the unacked tracked packets in [base, next) by
+// scanning the scoreboard. Verification compares it against the
+// incrementally maintained outstanding counter.
+func (c *Conn) TxUnacked(space wire.Space) int {
+	ts := c.tx[space]
+	n := 0
+	for psn := ts.base; psn != ts.next; psn++ {
+		if tp := ts.slot(psn); tp != nil && tp.pkt.PSN == psn && !tp.acked {
+			n++
+		}
+	}
+	return n
+}
+
+// RxState exposes one sequence space's receiver window: the cumulative
+// base (all PSNs below it received) and the SACK bitmap relative to it.
+func (c *Conn) RxState(space wire.Space) (base uint32, bitmap wire.Bitmap) {
+	rs := c.rx[space]
+	return rs.base, rs.bitmap
+}
+
+// Fcwnd returns the sum of per-flow congestion windows (the fabric-side
+// connection window; responses are gated by it alone, §4.4).
+func (c *Conn) Fcwnd() float64 { return c.connFcwnd() }
+
 // FlowLabel returns flow i's current label.
 func (c *Conn) FlowLabel(i int) wire.FlowLabel { return c.flows[i].label }
 
@@ -394,12 +459,27 @@ func (c *Conn) totalOutstanding() int {
 	return c.tx[0].outstanding + c.tx[1].outstanding
 }
 
+// totalInFlight is the congestion-window occupancy: outstanding packets
+// minus those parked on a resource-NACK backoff (known off the network).
+func (c *Conn) totalInFlight() int {
+	n := c.totalOutstanding() - c.tx[0].parked - c.tx[1].parked
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
 // QueuedPackets returns packets accepted from the TL but not yet
 // transmitted (scheduler backlog).
 func (c *Conn) QueuedPackets() int { return len(c.reqQ) + len(c.respQ) }
 
 // Outstanding returns the number of transmitted-but-unacked packets.
 func (c *Conn) Outstanding() int { return c.totalOutstanding() }
+
+// Parked returns the number of outstanding packets currently excluded from
+// the congestion window because the peer resource-NACKed them and a backoff
+// retransmit is scheduled.
+func (c *Conn) Parked() int { return c.tx[0].parked + c.tx[1].parked }
 
 // ApplyResponse installs FAE-computed parameters (the FAE→PDL response ring
 // of Figure 9) and reattempts transmission since windows may have opened.

@@ -94,7 +94,9 @@ func (c *Conn) runOOODistance() {
 			continue
 		}
 		for psn := ts.base; psn != ts.next; psn++ {
-			if int64(highest)-int64(psn) < int64(dist) {
+			// Serial arithmetic: distance below the highest SACK must
+			// survive the uint32 PSN wrap.
+			if int32(highest-psn) < int32(dist) {
 				break
 			}
 			tp := ts.slot(psn)
@@ -115,10 +117,14 @@ func (c *Conn) runOOODistance() {
 }
 
 // onTLP fires the tail loss probe: after tlpTimeout of ACK inactivity, the
-// lowest unacked PSN is retransmitted to elicit a fresh ACK whose bitmap
-// lets RACK repair the tail (§4.1).
+// highest unacked PSN — the tail — is retransmitted to elicit a fresh ACK
+// whose bitmap lets RACK repair everything before it (§4.1). Probing the
+// tail rather than the head matters for liveness: a lost tail packet has
+// nothing sent after it, so RACK alone can never declare it lost, and the
+// head may be a request a resource-pressured receiver keeps refusing while
+// it waits for exactly the RSN the tail carries.
 func (c *Conn) onTLP() {
-	if c.totalOutstanding() == 0 {
+	if c.failed || c.totalOutstanding() == 0 {
 		return
 	}
 	if c.sim.Now().Sub(c.lastAckProgress) < c.tlpTimeout {
@@ -128,7 +134,7 @@ func (c *Conn) onTLP() {
 	}
 	var probe *txPacket
 	for _, ts := range c.tx {
-		if tp := ts.lowestUnacked(); tp != nil && (probe == nil || tp.txTime < probe.txTime) {
+		if tp := ts.highestUnacked(); tp != nil && (probe == nil || tp.txTime < probe.txTime) {
 			probe = tp
 		}
 	}
@@ -140,8 +146,14 @@ func (c *Conn) onTLP() {
 }
 
 // onRTO is the last-resort timeout: collapse the window via the FAE (which
-// also flips the flow label — PRR), retransmit the head of each space, and
-// back off exponentially.
+// also flips the flow label — PRR), run a full retransmission scan of each
+// space, and back off exponentially. The scan must cover EVERY unacked
+// packet, not just the head: faster recovery paths are selective (RACK
+// needs a later delivery on the same flow, TLP probes only the tail, the
+// NACK backoff only re-sends packets the peer has seen), so a dropped
+// packet in the middle of the window has no other guaranteed path back
+// onto the wire — and it may carry the one RSN a resource-pressured
+// receiver is waiting for before it can drain its reorder buffer.
 func (c *Conn) onRTO() {
 	if c.failed || c.totalOutstanding() == 0 {
 		return
@@ -154,11 +166,19 @@ func (c *Conn) onRTO() {
 	}
 	now := c.sim.Now()
 	for _, ts := range c.tx {
-		if tp := ts.lowestUnacked(); tp != nil {
-			if c.cb.PostEvent != nil {
-				c.cb.PostEvent(fae.Event{
-					Kind: fae.EventRTO, Conn: c.id, Flow: tp.flow, Now: now,
-				})
+		scanned := false
+		for psn := ts.base; psn != ts.next; psn++ {
+			tp := ts.slot(psn)
+			if tp == nil || tp.acked {
+				continue
+			}
+			if !scanned {
+				scanned = true
+				if c.cb.PostEvent != nil {
+					c.cb.PostEvent(fae.Event{
+						Kind: fae.EventRTO, Conn: c.id, Flow: tp.flow, Now: now,
+					})
+				}
 			}
 			c.retransmit(tp, false)
 		}

@@ -25,6 +25,9 @@ func (c *Conn) HandlePacket(p *wire.Packet, hops int) {
 			c.handleData(p)
 		}
 	}
+	if c.probe != nil {
+		c.probe.OnReceive(c, p)
+	}
 }
 
 // handleData runs the receiver pipeline: RX window bookkeeping, delivery to
@@ -38,7 +41,9 @@ func (c *Conn) handleData(p *wire.Packet) {
 	rf := c.rxFlow[flowIdx]
 	now := c.sim.Now()
 
-	diff := int64(p.PSN) - int64(rs.base)
+	// Serial arithmetic: PSNs wrap at 2^32, so the offset from base must be
+	// computed as a signed 32-bit difference, never an absolute comparison.
+	diff := int64(int32(p.PSN - rs.base))
 	switch {
 	case diff < 0 || (diff < wire.BitmapBits && rs.bitmap.Get(int(diff))):
 		// Duplicate (e.g. a retransmission racing a lost ACK). ACK
@@ -234,14 +239,15 @@ func (c *Conn) handleAck(p *wire.Packet) {
 // reports whether any packet was newly acknowledged.
 func (c *Conn) processAckInfo(ts *txSpace, info wire.AckInfo, perFlow []int) bool {
 	progress := false
-	// Cumulative portion.
-	if int64(info.Base) > int64(ts.base) {
+	// Cumulative portion. Serial arithmetic throughout: PSNs wrap at 2^32,
+	// so ordering is a signed 32-bit difference, never a widened comparison.
+	if int32(info.Base-ts.base) > 0 {
 		for psn := ts.base; psn != info.Base && psn != ts.next; psn++ {
 			if c.markAcked(ts, psn, perFlow) {
 				progress = true
 			}
 		}
-		if int64(info.Base) <= int64(ts.next) {
+		if int32(info.Base-ts.next) <= 0 {
 			ts.base = info.Base
 		} else {
 			ts.base = ts.next
@@ -253,7 +259,7 @@ func (c *Conn) processAckInfo(ts *txSpace, info wire.AckInfo, perFlow []int) boo
 			continue
 		}
 		psn := info.Base + uint32(i)
-		if int64(psn) < int64(ts.base) || int64(psn) >= int64(ts.next) {
+		if int32(psn-ts.base) < 0 || int32(psn-ts.next) >= 0 {
 			continue
 		}
 		if c.markAcked(ts, psn, perFlow) {
@@ -280,6 +286,10 @@ func (c *Conn) markAcked(ts *txSpace, psn uint32, perFlow []int) bool {
 	}
 	tp.acked = true
 	ts.outstanding--
+	if tp.nacked {
+		tp.nacked = false
+		ts.parked--
+	}
 	f := c.flows[tp.flow]
 	f.outstanding--
 	perFlow[tp.flow]++
@@ -323,17 +333,29 @@ func (c *Conn) handleNack(p *wire.Packet) {
 		}
 		if !tp.nacked {
 			tp.nacked = true
+			ts.parked++
 			backoff := c.rto / 4
 			c.sim.After(backoff, func() {
 				if !tp.acked {
 					c.retransmit(tp, false)
 				}
 			})
+			// Parking the packet opened congestion window: the scheduler
+			// may now transmit queued packets — in particular a
+			// head-of-line RNR retry the receiver is waiting for.
+			c.trySend()
 		}
 	case wire.NackRNR, wire.NackCIE:
-		// PDL-level delivery is done: free the packet context. The
-		// transaction-level consequence (retry or complete-in-error)
-		// belongs to the TL.
+		// The transaction-level consequence (retry or complete-in-error)
+		// belongs to the TL, and it must learn of it BEFORE the PDL-level
+		// ack below: on unordered connections a push completes when its
+		// packet is acked, and an RNR means the target explicitly did NOT
+		// take responsibility — the TL marks the transaction as retrying
+		// so the ack frees the packet context without completing it.
+		if c.cb.NackReceived != nil {
+			c.cb.NackReceived(p)
+		}
+		// PDL-level delivery is done: free the packet context.
 		if known {
 			perFlow := make([]int, len(c.flows))
 			c.markAcked(ts, p.PSN, perFlow)
@@ -345,9 +367,6 @@ func (c *Conn) handleNack(p *wire.Packet) {
 				ts.base++
 			}
 			c.resetTimersOnProgress()
-		}
-		if c.cb.NackReceived != nil {
-			c.cb.NackReceived(p)
 		}
 		c.trySend()
 	}

@@ -66,11 +66,15 @@ func (c *Conn) canSendData(space wire.Space) bool {
 	if space == wire.SpaceRequest && c.ncwnd < limit {
 		limit = c.ncwnd
 	}
-	out := float64(c.totalOutstanding())
+	// Congestion window counts in-flight packets only: resource-NACKed
+	// packets parked on a backoff are known off the network, and counting
+	// them would let a window of refused packets starve the head-of-line
+	// packet the receiver is actually waiting for.
+	out := float64(c.totalInFlight())
 	if limit >= 1 {
 		return out < limit
 	}
-	// Fractional window: at most one outstanding packet, released at the
+	// Fractional window: at most one in-flight packet, released at the
 	// paced instant.
 	return out == 0 && c.sim.Now() >= c.nextPaced
 }
@@ -164,6 +168,9 @@ func (c *Conn) stampAndSend(tp *txPacket, retransmit, tlp bool) {
 		p.Flags |= wire.FlagAckReq
 	}
 	c.cb.Send(p)
+	if c.probe != nil {
+		c.probe.OnSend(c, p, retransmit)
+	}
 	c.armTimers()
 }
 
@@ -174,7 +181,7 @@ func (c *Conn) maybePace() {
 	if len(c.reqQ)+len(c.respQ) == 0 {
 		return
 	}
-	if c.totalOutstanding() > 0 {
+	if c.totalInFlight() > 0 {
 		return // ACK clocking will resume transmission
 	}
 	if c.EffectiveWindow() >= 1 {
@@ -239,12 +246,27 @@ func (ts *txSpace) lowestUnacked() *txPacket {
 	return nil
 }
 
+// highestUnacked returns the newest (highest-PSN) unacked tracked packet in
+// the space, or nil — the tail packet a TLP must probe.
+func (ts *txSpace) highestUnacked() *txPacket {
+	for psn := ts.next; psn != ts.base; psn-- {
+		tp := ts.slot(psn - 1)
+		if tp != nil && !tp.acked {
+			return tp
+		}
+	}
+	return nil
+}
+
 // retransmit re-sends a tracked packet, counting and flagging it.
 func (c *Conn) retransmit(tp *txPacket, tlp bool) {
-	if tp == nil || tp.acked {
+	if c.failed || tp == nil || tp.acked {
 		return
 	}
+	if tp.nacked {
+		tp.nacked = false
+		c.tx[tp.pkt.Space].parked--
+	}
 	tp.retx++
-	tp.nacked = false
 	c.stampAndSend(tp, true, tlp)
 }

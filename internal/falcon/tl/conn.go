@@ -125,6 +125,7 @@ type txn struct {
 	done     func(data []byte, err error)
 	pktAcked bool
 	finished bool // target outcome known (completion/pull-data/CIE)
+	retrying bool // RNR received, retry scheduled: acks must not complete it
 	released bool
 	err      error
 	respData []byte
@@ -134,6 +135,18 @@ type txn struct {
 type pendingReq struct {
 	pkt   *wire.Packet
 	bytes int
+}
+
+// Probe observes a TL connection's transaction-level activity. It is the
+// TL's verification hook (internal/testkit registers invariant checkers
+// through it): OnRequestServed fires at the target when a request reaches
+// terminal processing (exactly once per RSN, in RSN order on ordered
+// connections), and OnCompletion fires at the initiator when a completion
+// is released to the ULP (exactly once per RSN). Costs one nil check when
+// unset.
+type Probe interface {
+	OnRequestServed(c *Conn, rsn uint64)
+	OnCompletion(c *Conn, rsn uint64, err error)
 }
 
 // Stats counts TL activity on one connection.
@@ -184,6 +197,9 @@ type Conn struct {
 	// dead is non-nil once the PDL declared the connection failed.
 	dead error
 
+	// probe, when non-nil, observes serves and completions (verification).
+	probe Probe
+
 	Stats Stats
 }
 
@@ -220,6 +236,13 @@ func (c *Conn) ID() uint32 { return c.id }
 // construction, before traffic arrives).
 func (c *Conn) SetTarget(h TargetHandler) { c.target = h }
 
+// SetProbe attaches a verification probe (nil detaches).
+func (c *Conn) SetProbe(p Probe) { c.probe = p }
+
+// Ordered reports whether the connection delivers and completes in RSN
+// order.
+func (c *Conn) Ordered() bool { return c.cfg.Ordered }
+
 // Alpha returns the connection's current DT α_c (diagnostics).
 func (c *Conn) Alpha() float64 { return c.effAlpha() }
 
@@ -245,6 +268,18 @@ func (c *Conn) CompletedRSN() uint64 {
 
 // RxOccupancy is forwarded to the PDL's ACK builder.
 func (c *Conn) RxOccupancy() float64 { return c.res.RxOccupancy() }
+
+// ExpectedRSN returns the next request RSN the target will process in
+// order (diagnostics/verification).
+func (c *Conn) ExpectedRSN() uint64 { return c.expectedRSN }
+
+// BufferedRSNs returns the RSNs held in the target reorder buffer, sorted
+// (diagnostics/verification).
+func (c *Conn) BufferedRSNs() []uint64 { return sortedKeys(c.reorderBuf) }
+
+// PendingRSNs returns the initiator-side RSNs not yet released to the
+// ULP, sorted (diagnostics/verification).
+func (c *Conn) PendingRSNs() []uint64 { return sortedKeys(c.txns) }
 
 // effAlpha returns the connection's DT α under the configured policy.
 func (c *Conn) effAlpha() float64 {

@@ -1,6 +1,7 @@
 package tl
 
 import (
+	"slices"
 	"time"
 
 	"falcon/internal/falcon/pdl"
@@ -69,6 +70,10 @@ func (c *Conn) processRequest(rsn uint64) bool {
 	defer c.res.Release(PoolRxReq, c.id, req.bytes)
 
 	advance := func() {
+		// Terminal processing of this RSN: it will never run again.
+		if c.probe != nil {
+			c.probe.OnRequestServed(c, rsn)
+		}
 		if c.cfg.Ordered {
 			c.expectedRSN = rsn + 1
 			c.completedRSN = c.expectedRSN
@@ -197,8 +202,10 @@ func (c *Conn) PacketAcked(space wire.Space, psn uint32, rsn uint64, typ wire.Ty
 		return
 	}
 	t.pktAcked = true
-	if t.kind == txnPush && !c.cfg.Ordered && !t.finished {
-		// Unordered push: responsibility transferred on ack.
+	if t.kind == txnPush && !c.cfg.Ordered && !t.finished && !t.retrying {
+		// Unordered push: responsibility transferred on ack. RNR-retrying
+		// transactions are excluded — their "ack" only freed the refused
+		// packet's context; the retry carries the responsibility.
 		t.finished = true
 	}
 	c.tryRelease()
@@ -227,7 +234,10 @@ func (c *Conn) NackReceived(p *wire.Packet) {
 	}
 	switch p.NackCode {
 	case wire.NackRNR:
-		// Transparent retry after the target-specified delay (§4.4).
+		// Transparent retry after the target-specified delay (§4.4). The
+		// retrying flag keeps the refused packet's PDL-level ack from
+		// completing the transaction (unordered pushes complete on ack).
+		t.retrying = true
 		c.Stats.RNRRetries++
 		c.sim.After(time.Duration(p.RetryDelayNs), func() { c.retryTransaction(t) })
 	case wire.NackCIE:
@@ -254,6 +264,7 @@ func (c *Conn) retryTransaction(t *txn) {
 		return
 	}
 	t.pktAcked = false
+	t.retrying = false
 	c.sendRequest(t)
 }
 
@@ -269,10 +280,13 @@ func (c *Conn) Fail(err error) {
 	}
 	c.dead = err
 	// Error all initiator-side transactions, bypassing ordered release.
+	// Sorted so error completions reach the ULP in RSN order rather than
+	// map-iteration order (determinism).
 	rsns := make([]uint64, 0, len(c.txns))
 	for rsn := range c.txns {
 		rsns = append(rsns, rsn)
 	}
+	slices.Sort(rsns)
 	for _, rsn := range rsns {
 		t := c.txns[rsn]
 		if t == nil || t.released {
@@ -284,21 +298,33 @@ func (c *Conn) Fail(err error) {
 		}
 		c.release(t)
 	}
-	// Return TX reservations whose ACKs will never arrive.
-	for rsn, bytes := range c.reqReservations {
-		c.res.Release(PoolTxReq, c.id, bytes)
+	// Return TX reservations whose ACKs will never arrive. Release fires
+	// Xon subscribers, so these loops also run in sorted RSN order.
+	for _, rsn := range sortedKeys(c.reqReservations) {
+		c.res.Release(PoolTxReq, c.id, c.reqReservations[rsn])
 		delete(c.reqReservations, rsn)
 	}
-	for rsn, bytes := range c.sentRespBytes {
-		c.res.Release(PoolTxResp, c.id, bytes)
+	for _, rsn := range sortedKeys(c.sentRespBytes) {
+		c.res.Release(PoolTxResp, c.id, c.sentRespBytes[rsn])
 		delete(c.sentRespBytes, rsn)
 	}
 	// Drop target-side reorder buffers (their RxReq reservations).
-	for rsn, req := range c.reorderBuf {
-		c.res.Release(PoolRxReq, c.id, req.bytes)
+	for _, rsn := range sortedKeys(c.reorderBuf) {
+		c.res.Release(PoolRxReq, c.id, c.reorderBuf[rsn].bytes)
 		delete(c.reorderBuf, rsn)
 	}
 	c.pendingResponses = nil
+}
+
+// sortedKeys returns the map's keys in ascending order, for deterministic
+// iteration where side effects (callbacks) escape the loop.
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }
 
 // Dead returns the terminal error, or nil while the connection is live.
@@ -317,8 +343,19 @@ func (c *Conn) tryRelease() {
 			c.releaseRSN++
 		}
 	}
-	for _, t := range c.txns {
+	// Unordered completions are "immediate" but must still fire in a
+	// deterministic order: ranging over the map directly would invoke ULP
+	// callbacks in Go's randomized iteration order, so two runs with the
+	// same seed could schedule follow-on work differently.
+	var ready []uint64
+	for rsn, t := range c.txns {
 		if t.finished && !t.released {
+			ready = append(ready, rsn)
+		}
+	}
+	slices.Sort(ready)
+	for _, rsn := range ready {
+		if t, ok := c.txns[rsn]; ok && !t.released {
 			c.release(t)
 		}
 	}
@@ -339,6 +376,9 @@ func (c *Conn) release(t *txn) {
 		c.Stats.CompletedError++
 	} else {
 		c.Stats.CompletedOK++
+	}
+	if c.probe != nil {
+		c.probe.OnCompletion(c, t.rsn, t.err)
 	}
 	if t.done != nil {
 		t.done(t.respData, t.err)

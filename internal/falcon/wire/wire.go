@@ -293,6 +293,12 @@ var ErrShortBuffer = errors.New("wire: buffer too short for falcon header")
 // ErrBadType is returned by Unmarshal for an unknown packet type.
 var ErrBadType = errors.New("wire: unknown packet type")
 
+// ErrBadSpace is returned by Unmarshal for a sequence-space byte outside
+// [0, NumSpaces). Validating here matters: the PDL indexes per-space state
+// arrays by Space, so an unvalidated corrupt header would panic deep in the
+// receive path instead of being dropped at the parser.
+var ErrBadSpace = errors.New("wire: invalid sequence space")
+
 // Marshal appends the packet's wire representation to dst and returns the
 // extended slice. Payload bytes from Data are appended when present;
 // otherwise Length is recorded in the header but no payload bytes follow
@@ -344,6 +350,9 @@ func (p *Packet) Unmarshal(b []byte) (int, error) {
 	t := Type(b[0])
 	if t == TypeInvalid || t > TypeResync {
 		return 0, fmt.Errorf("%w: %d", ErrBadType, b[0])
+	}
+	if b[3] >= NumSpaces {
+		return 0, fmt.Errorf("%w: %d", ErrBadSpace, b[3])
 	}
 	be := binary.BigEndian
 	p.Type = t

@@ -214,6 +214,7 @@ type Host struct {
 	net     *Network
 	handler Handler
 	uplink  *Port
+	tap     func(f *Frame)
 	// RxFrames counts delivered frames.
 	RxFrames uint64
 }
@@ -221,6 +222,12 @@ type Host struct {
 // SetHandler installs the frame receiver. Must be called before traffic
 // arrives.
 func (h *Host) SetHandler(hd Handler) { h.handler = hd }
+
+// SetTap installs a wire-level observer invoked for every frame delivered
+// to this host, before the handler runs (nil detaches). Verification
+// harnesses use it to fingerprint fabric arrivals; it must not mutate the
+// frame.
+func (h *Host) SetTap(fn func(f *Frame)) { h.tap = fn }
 
 // Uplink returns the host's egress port (host -> first switch), e.g. to
 // impair or re-rate it.
@@ -239,6 +246,9 @@ func (h *Host) Send(f *Frame) {
 
 func (h *Host) receive(f *Frame) {
 	h.RxFrames++
+	if h.tap != nil {
+		h.tap(f)
+	}
 	if h.handler != nil {
 		h.handler.HandleFrame(f)
 	}

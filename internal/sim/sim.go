@@ -91,6 +91,15 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Observer receives a callback for every event the simulator delivers.
+// The (time, sequence) pair identifies one event uniquely within a run, so
+// an observer that folds the stream into a digest fingerprints the entire
+// schedule: two runs with the same seed and setup must produce identical
+// streams (see internal/testkit.TraceHasher).
+type Observer interface {
+	OnEvent(at Time, seq uint64)
+}
+
 // Simulator is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; experiments that want parallelism run independent
 // simulators in separate goroutines.
@@ -99,6 +108,7 @@ type Simulator struct {
 	seq    uint64
 	events eventHeap
 	rng    *rand.Rand
+	obs    Observer
 
 	// processed counts delivered events, for runaway detection in tests.
 	processed uint64
@@ -121,6 +131,11 @@ func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
 // Processed reports how many events have been delivered so far.
 func (s *Simulator) Processed() uint64 { return s.processed }
+
+// SetObserver attaches an event observer (nil detaches). The hook costs one
+// nil check per delivered event when unset, so it stays compiled in without
+// affecting benchmark runs.
+func (s *Simulator) SetObserver(o Observer) { s.obs = o }
 
 // Timer is a handle to a scheduled event. The zero Timer is invalid; timers
 // are obtained from At/After.
@@ -176,6 +191,9 @@ func (s *Simulator) step() bool {
 		e.dead = true
 		s.now = e.at
 		s.processed++
+		if s.obs != nil {
+			s.obs.OnEvent(e.at, e.seq)
+		}
 		e.fn()
 		return true
 	}
