@@ -15,8 +15,11 @@ test:
 short:
 	$(GO) test -short ./...
 
+# Race detection, including the parallel falconbench path (the worker pool
+# plus a few experiments fanned across 4 goroutines).
 race:
 	$(GO) test -race ./...
+	$(GO) run -race ./cmd/falconbench -quick -parallel 4 -run 'fig18|fig19|fig21|fig22a|fig23' >/dev/null
 
 # Full fault-sweep matrix and determinism checks, verbose.
 sweep:
@@ -30,7 +33,18 @@ fuzz:
 vet:
 	$(GO) vet ./...
 
+# Performance baseline: scheduler microbenchmarks (wheel vs heap at 1k/32k/1M
+# pending timers), then one quick figure per family with the perf report
+# written to BENCH_pr2.json. See DESIGN.md §8 for how to read the numbers.
 bench:
+	$(GO) test -run NONE -bench 'BenchmarkScheduler' -benchmem ./internal/sim/
+	$(GO) run ./cmd/falconbench -quick -json BENCH_pr2.json \
+		-run 'fig1|fig10|fig13|fig18|fig20a|fig22b|fig25|table4'
+
+# Regenerate every table at full measurement windows (several minutes).
+bench-full:
 	$(GO) run ./cmd/falconbench
+
+.PHONY: bench-full
 
 ci: vet build test race

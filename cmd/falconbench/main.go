@@ -3,140 +3,63 @@
 //
 // Usage:
 //
-//	falconbench -list            # show available experiments
-//	falconbench -run fig10       # run one experiment
-//	falconbench -run 'fig2.*'    # run experiments matching a regex
-//	falconbench                  # run everything (several minutes)
-//	falconbench -quick           # shorter measurement windows
+//	falconbench -list                  # show available experiments
+//	falconbench -run fig10             # run one experiment
+//	falconbench -run 'fig2.*'          # run experiments matching a regex
+//	falconbench                        # run everything (several minutes)
+//	falconbench -quick                 # shorter measurement windows
+//	falconbench -quick -parallel 8     # fan experiments across 8 workers
+//	falconbench -json BENCH_pr2.json   # also write a machine-readable
+//	                                   # performance report (events/sec,
+//	                                   # ns/event, allocs/event, wall time
+//	                                   # per figure)
+//	falconbench -sched heap            # A/B the reference heap scheduler;
+//	                                   # tables must be identical
+//	falconbench -cpuprofile cpu.pprof  # pprof profiles of the run
+//	falconbench -memprofile mem.pprof
+//
+// Experiments build independent seeded simulators, so -parallel changes
+// wall time but never a table cell; output stays in registry order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"regexp"
-	"time"
+	"runtime"
+	"runtime/pprof"
 
 	"falcon/internal/experiments"
+	"falcon/internal/sim"
 )
-
-type entry struct {
-	name string
-	desc string
-	run  func(quick bool) *experiments.Table
-}
-
-// windows returns the measurement duration for normal vs quick runs.
-func windows(full, quick time.Duration) func(bool) time.Duration {
-	return func(q bool) time.Duration {
-		if q {
-			return quick
-		}
-		return full
-	}
-}
-
-var registry = []entry{
-	{"fig1", "HW vs SW op rate and tail latency", func(q bool) *experiments.Table {
-		return experiments.Fig1(windows(4*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"fig3", "transport multipath vs app-level connections", func(q bool) *experiments.Table {
-		return experiments.Fig3(windows(4*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"fig10", "goodput under losses per op type", func(q bool) *experiments.Table {
-		return experiments.Fig10(windows(8*time.Millisecond, 3*time.Millisecond)(q))
-	}},
-	{"fig11a", "goodput under reordering", func(q bool) *experiments.Table {
-		return experiments.Fig11a(windows(8*time.Millisecond, 3*time.Millisecond)(q))
-	}},
-	{"fig11b", "RACK-TLP vs OOO-distance", func(q bool) *experiments.Table {
-		return experiments.Fig11b(windows(10*time.Millisecond, 4*time.Millisecond)(q))
-	}},
-	{"fig12", "RoCE modes under losses", func(q bool) *experiments.Table {
-		return experiments.Fig12(windows(8*time.Millisecond, 3*time.Millisecond)(q))
-	}},
-	{"fig13", "incast congestion control", func(q bool) *experiments.Table {
-		return experiments.Fig13(windows(8*time.Millisecond, 4*time.Millisecond)(q))
-	}},
-	{"fig14", "end-host congestion (PCIe downgrade)", func(q bool) *experiments.Table {
-		return experiments.Fig14(windows(3*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"fig15", "multipath latency/goodput vs load (fig16 series included)", func(q bool) *experiments.Table {
-		return experiments.Fig15(windows(4*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"fig17", "path scheduling policy", func(q bool) *experiments.Table {
-		return experiments.Fig17(windows(4*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"fig18", "ML training comm time (multipath)", func(q bool) *experiments.Table {
-		return experiments.Fig18()
-	}},
-	{"fig19", "message size scaling", func(q bool) *experiments.Table {
-		return experiments.Fig19()
-	}},
-	{"fig20a", "read-incast bandwidth scaling vs SW", func(q bool) *experiments.Table {
-		return experiments.Fig20a(windows(4*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"fig20b", "op-rate scaling vs QP count", func(q bool) *experiments.Table {
-		return experiments.Fig20b(windows(3*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"fig21", "connection-count RTT cliff", func(q bool) *experiments.Table {
-		return experiments.Fig21()
-	}},
-	{"fig22a", "FAE event rate vs connections", func(q bool) *experiments.Table {
-		return experiments.Fig22a()
-	}},
-	{"fig22b", "impact of slow FAE", func(q bool) *experiments.Table {
-		return experiments.Fig22b(windows(4*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"fig23", "FAE state-size sensitivity", func(q bool) *experiments.Table {
-		return experiments.Fig23()
-	}},
-	{"fig24", "isolation via backpressure", func(q bool) *experiments.Table {
-		return experiments.Fig24(windows(4*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"fig25", "MPI AllReduce vs TCP", func(q bool) *experiments.Table {
-		return experiments.Fig25()
-	}},
-	{"fig26", "MPI AllToAll vs TCP", func(q bool) *experiments.Table {
-		return experiments.Fig26()
-	}},
-	{"fig27", "GROMACS-like scaling", func(q bool) *experiments.Table {
-		return experiments.Fig27()
-	}},
-	{"fig28", "WRF-like scaling", func(q bool) *experiments.Table {
-		return experiments.Fig28()
-	}},
-	{"fig29", "VM live migration vs Pony Express", func(q bool) *experiments.Table {
-		return experiments.Fig29()
-	}},
-	{"fig30", "MPI AllGather vs TCP", func(q bool) *experiments.Table {
-		return experiments.Fig30()
-	}},
-	{"fig31", "MPI MultiPingPong vs TCP", func(q bool) *experiments.Table {
-		return experiments.Fig31()
-	}},
-	{"table4", "Near Local Flash vs local SSD", func(q bool) *experiments.Table {
-		return experiments.Table4(windows(20*time.Millisecond, 8*time.Millisecond)(q))
-	}},
-	{"ecn", "ablation: ECN as a supplementary CC signal", func(q bool) *experiments.Table {
-		return experiments.AblationECN(windows(4*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-	{"psp", "ablation: PSP inline-encryption overhead", func(q bool) *experiments.Table {
-		return experiments.AblationPSP(windows(4*time.Millisecond, 2*time.Millisecond)(q))
-	}},
-}
 
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "regex of experiment names to run (default: all)")
 	quick := flag.Bool("quick", false, "shorter measurement windows")
+	parallel := flag.Int("parallel", 1, "worker pool width (independent simulators per goroutine)")
+	jsonPath := flag.String("json", "", "write a BENCH_*.json performance report to this file")
+	sched := flag.String("sched", "wheel", "event scheduler: wheel (default) or heap (reference)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
 
 	if *list {
-		for _, e := range registry {
-			fmt.Printf("%-8s %s\n", e.name, e.desc)
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
 		}
 		return
+	}
+	switch *sched {
+	case "wheel":
+		sim.SetDefaultScheduler(sim.SchedulerWheel)
+	case "heap":
+		sim.SetDefaultScheduler(sim.SchedulerHeap)
+	default:
+		fmt.Fprintf(os.Stderr, "bad -sched %q: want wheel or heap\n", *sched)
+		os.Exit(2)
 	}
 	var re *regexp.Regexp
 	if *run != "" {
@@ -147,18 +70,56 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	matched := false
-	for _, e := range registry {
-		if re != nil && !re.MatchString(e.name) {
-			continue
+	var matched []experiments.Entry
+	for _, e := range experiments.Registry() {
+		if re == nil || re.MatchString(e.Name) {
+			matched = append(matched, e)
 		}
-		matched = true
-		start := time.Now()
-		e.run(*quick).Fprint(os.Stdout)
-		fmt.Printf("(%s in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
-	if !matched {
+	if len(matched) == 0 {
 		fmt.Fprintf(os.Stderr, "no experiment matches %q; try -list\n", *run)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	rep := experiments.Run(matched, *quick, *parallel, os.Stdout)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

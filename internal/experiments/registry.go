@@ -1,0 +1,120 @@
+package experiments
+
+import "time"
+
+// Entry is one runnable experiment: a paper table or figure plus the
+// ablations. cmd/falconbench selects entries by name regex; the runner in
+// runner.go executes them serially or across a worker pool.
+type Entry struct {
+	Name string
+	Desc string
+	Run  func(quick bool) *Table
+}
+
+// windows returns the measurement duration for normal vs quick runs.
+func windows(full, quick time.Duration) func(bool) time.Duration {
+	return func(q bool) time.Duration {
+		if q {
+			return quick
+		}
+		return full
+	}
+}
+
+// registry lists every experiment in presentation order. Each entry builds
+// its simulators from scratch on every call (fresh *sim.Simulator and RNG
+// per run), which is what makes the set embarrassingly parallel: entries
+// share no mutable state, so the worker pool may run any subset
+// concurrently without changing a single table cell.
+var registry = []Entry{
+	{"fig1", "HW vs SW op rate and tail latency", func(q bool) *Table {
+		return Fig1(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"fig3", "transport multipath vs app-level connections", func(q bool) *Table {
+		return Fig3(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"fig10", "goodput under losses per op type", func(q bool) *Table {
+		return Fig10(windows(8*time.Millisecond, 3*time.Millisecond)(q))
+	}},
+	{"fig11a", "goodput under reordering", func(q bool) *Table {
+		return Fig11a(windows(8*time.Millisecond, 3*time.Millisecond)(q))
+	}},
+	{"fig11b", "RACK-TLP vs OOO-distance", func(q bool) *Table {
+		return Fig11b(windows(10*time.Millisecond, 4*time.Millisecond)(q))
+	}},
+	{"fig12", "RoCE modes under losses", func(q bool) *Table {
+		return Fig12(windows(8*time.Millisecond, 3*time.Millisecond)(q))
+	}},
+	{"fig13", "incast congestion control", func(q bool) *Table {
+		return Fig13(windows(8*time.Millisecond, 4*time.Millisecond)(q))
+	}},
+	{"fig14", "end-host congestion (PCIe downgrade)", func(q bool) *Table {
+		return Fig14(windows(3*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"fig15", "multipath latency/goodput vs load (fig16 series included)", func(q bool) *Table {
+		return Fig15(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"fig17", "path scheduling policy", func(q bool) *Table {
+		return Fig17(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"fig18", "ML training comm time (multipath)", func(q bool) *Table {
+		return Fig18()
+	}},
+	{"fig19", "message size scaling", func(q bool) *Table {
+		return Fig19()
+	}},
+	{"fig20a", "read-incast bandwidth scaling vs SW", func(q bool) *Table {
+		return Fig20a(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"fig20b", "op-rate scaling vs QP count", func(q bool) *Table {
+		return Fig20b(windows(3*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"fig21", "connection-count RTT cliff", func(q bool) *Table {
+		return Fig21()
+	}},
+	{"fig22a", "FAE event rate vs connections", func(q bool) *Table {
+		return Fig22a()
+	}},
+	{"fig22b", "impact of slow FAE", func(q bool) *Table {
+		return Fig22b(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"fig23", "FAE state-size sensitivity", func(q bool) *Table {
+		return Fig23()
+	}},
+	{"fig24", "isolation via backpressure", func(q bool) *Table {
+		return Fig24(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"fig25", "MPI AllReduce vs TCP", func(q bool) *Table {
+		return Fig25()
+	}},
+	{"fig26", "MPI AllToAll vs TCP", func(q bool) *Table {
+		return Fig26()
+	}},
+	{"fig27", "GROMACS-like scaling", func(q bool) *Table {
+		return Fig27()
+	}},
+	{"fig28", "WRF-like scaling", func(q bool) *Table {
+		return Fig28()
+	}},
+	{"fig29", "VM live migration vs Pony Express", func(q bool) *Table {
+		return Fig29()
+	}},
+	{"fig30", "MPI AllGather vs TCP", func(q bool) *Table {
+		return Fig30()
+	}},
+	{"fig31", "MPI MultiPingPong vs TCP", func(q bool) *Table {
+		return Fig31()
+	}},
+	{"table4", "Near Local Flash vs local SSD", func(q bool) *Table {
+		return Table4(windows(20*time.Millisecond, 8*time.Millisecond)(q))
+	}},
+	{"ecn", "ablation: ECN as a supplementary CC signal", func(q bool) *Table {
+		return AblationECN(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+	{"psp", "ablation: PSP inline-encryption overhead", func(q bool) *Table {
+		return AblationPSP(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}},
+}
+
+// Registry returns every experiment in presentation order.
+func Registry() []Entry { return registry }

@@ -1,0 +1,113 @@
+package sim
+
+// Scheduler microbenchmarks: schedule/cancel/fire mixes at 1k-1M pending
+// timers, run against both the timing wheel and the reference heap. These
+// produce the headline numbers in DESIGN.md §8 and EXPERIMENTS.md's PR2
+// appendix; `make bench` runs them.
+//
+// The steady-state mix models the simulator's real load (measured from
+// falconbench): ~90% of timers land within ~100us (packet serialization,
+// ACK coalescing, pacing) and ~10% reach into the milliseconds (RTOs,
+// probe timers), so the wheel's level-0/level-1 split and the far-heap
+// cascade are all on the hot path.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// delayRing precomputes a deterministic delay mixture so the benchmark
+// loop does no RNG work.
+func delayRing(shortFrac int) []time.Duration {
+	rng := rand.New(rand.NewSource(42))
+	ring := make([]time.Duration, 8192)
+	for i := range ring {
+		if rng.Intn(100) < shortFrac {
+			ring[i] = time.Duration(1 + rng.Intn(100_000)) // <= 100us
+		} else {
+			ring[i] = time.Duration(1 + rng.Intn(10_000_000)) // <= 10ms
+		}
+	}
+	return ring
+}
+
+// benchSteadyFire keeps `pending` self-rescheduling timers live and
+// measures the cost of one schedule+fire cycle.
+func benchSteadyFire(b *testing.B, k Scheduler, pending int) {
+	s := NewWithScheduler(1, k)
+	ring := delayRing(90)
+	di := 0
+	next := func() time.Duration {
+		d := ring[di]
+		di++
+		if di == len(ring) {
+			di = 0
+		}
+		return d
+	}
+	var tick func()
+	tick = func() { s.After(next(), tick) }
+	for i := 0; i < pending; i++ {
+		s.After(next(), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step()
+	}
+}
+
+// benchCancelMix measures a schedule-2/cancel-1/fire-1 cycle, the pattern
+// retransmission timers follow (armed per packet, almost always cancelled
+// by the ACK before firing).
+func benchCancelMix(b *testing.B, k Scheduler, pending int) {
+	s := NewWithScheduler(1, k)
+	ring := delayRing(90)
+	di := 0
+	next := func() time.Duration {
+		d := ring[di]
+		di++
+		if di == len(ring) {
+			di = 0
+		}
+		return d
+	}
+	noop := func() {}
+	timers := make([]Timer, pending)
+	for i := range timers {
+		timers[i] = s.After(next(), noop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % pending
+		timers[j].Stop()
+		s.After(next(), noop)
+		timers[j] = s.After(next(), noop)
+		s.step()
+	}
+}
+
+func schedulerSizes() []int { return []int{1_000, 32_000, 1_000_000} }
+
+func BenchmarkSchedulerSteadyState(b *testing.B) {
+	for _, k := range []Scheduler{SchedulerWheel, SchedulerHeap} {
+		for _, n := range schedulerSizes() {
+			b.Run(fmt.Sprintf("%s/pending=%d", k, n), func(b *testing.B) {
+				benchSteadyFire(b, k, n)
+			})
+		}
+	}
+}
+
+func BenchmarkSchedulerCancelMix(b *testing.B) {
+	for _, k := range []Scheduler{SchedulerWheel, SchedulerHeap} {
+		for _, n := range schedulerSizes() {
+			b.Run(fmt.Sprintf("%s/pending=%d", k, n), func(b *testing.B) {
+				benchCancelMix(b, k, n)
+			})
+		}
+	}
+}

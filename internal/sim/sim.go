@@ -10,12 +10,29 @@
 // Virtual time is an int64 nanosecond count (type Time). Nothing in the
 // repository reads the wall clock; components take a *Simulator (or the
 // narrower Clock interface) and schedule continuations on it.
+//
+// # Scheduler implementations
+//
+// Two interchangeable data structures back the pending-event set (see
+// DESIGN.md §8 for the performance model):
+//
+//   - SchedulerWheel (the default) places short-horizon timers in a
+//     two-level hashed timing wheel and parks far-future timers in a binary
+//     heap, cascading them inward as the clock advances. Steady-state
+//     scheduling is O(1) and — together with the event free list —
+//     allocation-free.
+//   - SchedulerHeap keeps every pending event in a binary heap. It is the
+//     straightforward reference implementation the wheel is verified
+//     against: both must deliver any schedule in the identical (time, seq)
+//     order, a property the equivalence suite in equiv_test.go and the
+//     testkit trace hashes enforce.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -53,43 +70,86 @@ type Clock interface {
 	Now() Time
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are pooled: once delivered (or once
+// a cancelled event surfaces), the object returns to the simulator's free
+// list and its generation counter advances, which invalidates any stale
+// Timer handle still pointing at it.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among events at the same instant
 	fn   func()
-	idx  int // heap index, -1 once popped or cancelled
+	gen  uint32
 	dead bool
 }
 
+// eventLess is the global delivery order: (time, seq) ascending. seq values
+// are unique within a simulator, so this is a total order.
+func eventLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// eventHeap is a binary min-heap over (time, seq). Cancelled events are
+// removed lazily when they surface at the root.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.idx = -1
 	*h = old[:n-1]
 	return e
 }
+
+// Scheduler selects the data structure backing a simulator's pending-event
+// set. Both implementations deliver every schedule in the identical
+// (time, seq) order; they differ only in cost.
+type Scheduler int
+
+const (
+	// SchedulerWheel is the default: a two-level hashed timing wheel for
+	// short-horizon timers with a heap fallback for far-future ones.
+	SchedulerWheel Scheduler = iota
+	// SchedulerHeap keeps all events in a binary heap — the reference
+	// implementation the wheel is checked against.
+	SchedulerHeap
+)
+
+func (k Scheduler) String() string {
+	if k == SchedulerHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+// defaultScheduler is what New uses; cmd/falconbench overrides it to A/B
+// the implementations. Atomic because parallel experiment runners build
+// simulators from several goroutines.
+var defaultScheduler atomic.Int32
+
+// SetDefaultScheduler selects the scheduler New gives to simulators built
+// after the call (existing simulators are unaffected). Tests that need a
+// specific implementation should use NewWithScheduler instead of mutating
+// the process-wide default.
+func SetDefaultScheduler(k Scheduler) { defaultScheduler.Store(int32(k)) }
+
+// DefaultScheduler reports the scheduler New currently uses.
+func DefaultScheduler() Scheduler { return Scheduler(defaultScheduler.Load()) }
+
+// totalDelivered counts events delivered process-wide, accumulated from
+// per-simulator counters when Run/RunUntil return. cmd/falconbench divides
+// it by wall time for the events/sec figures in BENCH_*.json.
+var totalDelivered atomic.Uint64
+
+// TotalDelivered reports the number of events delivered by all simulators
+// in the process so far. The counter is folded in when Run or RunUntil
+// returns (not per event), so it is cheap and safe under the parallel
+// experiment runner.
+func TotalDelivered() uint64 { return totalDelivered.Load() }
 
 // Observer receives a callback for every event the simulator delivers.
 // The (time, sequence) pair identifies one event uniquely within a run, so
@@ -102,23 +162,45 @@ type Observer interface {
 
 // Simulator is a single-threaded discrete-event scheduler. It is not safe
 // for concurrent use; experiments that want parallelism run independent
-// simulators in separate goroutines.
+// simulators in separate goroutines (see falconbench -parallel).
 type Simulator struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	rng    *rand.Rand
-	obs    Observer
+	now   Time
+	seq   uint64
+	rng   *rand.Rand
+	obs   Observer
+	sched Scheduler
 
-	// processed counts delivered events, for runaway detection in tests.
+	// far holds events beyond the wheel horizon — every event, in heap
+	// mode.
+	far eventHeap
+
+	// wheel is the two-level timing wheel state (wheel mode only).
+	wheel wheelState
+
+	// free is the event free list; alloc draws from it in blocks so
+	// steady-state scheduling performs no allocations.
+	free []*event
+
+	// live counts scheduled-and-not-yet-fired-or-cancelled events.
+	live int
+
+	// processed counts delivered events; synced is the prefix already
+	// folded into the process-wide totalDelivered counter.
 	processed uint64
+	synced    uint64
 }
 
-// New returns a simulator whose clock reads zero and whose random stream is
-// seeded with seed. Two simulators built with the same seed and fed the same
-// schedule produce identical runs.
+// New returns a simulator using the default scheduler, whose clock reads
+// zero and whose random stream is seeded with seed. Two simulators built
+// with the same seed and fed the same schedule produce identical runs.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return NewWithScheduler(seed, DefaultScheduler())
+}
+
+// NewWithScheduler returns a simulator backed by the given scheduler
+// implementation. The choice affects only speed, never delivery order.
+func NewWithScheduler(seed int64, k Scheduler) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), sched: k}
 }
 
 // Now returns the current virtual time.
@@ -137,28 +219,52 @@ func (s *Simulator) Processed() uint64 { return s.processed }
 // affecting benchmark runs.
 func (s *Simulator) SetObserver(o Observer) { s.obs = o }
 
+// alloc takes an event from the free list, refilling it a block at a time
+// so long runs amortize to zero allocations per scheduled event.
+func (s *Simulator) alloc() *event {
+	n := len(s.free)
+	if n == 0 {
+		blk := make([]event, 256)
+		for i := range blk {
+			s.free = append(s.free, &blk[i])
+		}
+		n = len(s.free)
+	}
+	e := s.free[n-1]
+	s.free = s.free[:n-1]
+	return e
+}
+
+// recycle returns a fired or cancelled event to the free list. Bumping the
+// generation invalidates outstanding Timer handles to it.
+func (s *Simulator) recycle(e *event) {
+	e.fn = nil
+	e.gen++
+	s.free = append(s.free, e)
+}
+
 // Timer is a handle to a scheduled event. The zero Timer is invalid; timers
 // are obtained from At/After.
 type Timer struct {
-	s *Simulator
-	e *event
+	s   *Simulator
+	e   *event
+	gen uint32
 }
 
 // Stop cancels the timer if it has not fired. It reports whether the call
-// prevented the event from firing.
+// prevented the event from firing. Cancellation is lazy: the event object
+// is reclaimed when it surfaces in the schedule.
 func (t Timer) Stop() bool {
-	if t.e == nil || t.e.dead {
+	if t.e == nil || t.e.gen != t.gen || t.e.dead {
 		return false
 	}
 	t.e.dead = true
-	if t.e.idx >= 0 {
-		heap.Remove(&t.s.events, t.e.idx)
-	}
+	t.s.live--
 	return true
 }
 
 // Pending reports whether the timer is still scheduled.
-func (t Timer) Pending() bool { return t.e != nil && !t.e.dead }
+func (t Timer) Pending() bool { return t.e != nil && t.e.gen == t.gen && !t.e.dead }
 
 // At schedules fn to run at time at. Scheduling in the past (before Now) is
 // a programming error and panics: silently reordering time would invalidate
@@ -167,10 +273,19 @@ func (s *Simulator) At(at Time, fn func()) Timer {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	e := &event{at: at, seq: s.seq, fn: fn}
+	e := s.alloc()
+	e.at = at
+	e.seq = s.seq
+	e.fn = fn
+	e.dead = false
 	s.seq++
-	heap.Push(&s.events, e)
-	return Timer{s: s, e: e}
+	s.live++
+	if s.sched == SchedulerWheel {
+		s.wheelInsert(e)
+	} else {
+		heap.Push(&s.far, e)
+	}
+	return Timer{s: s, e: e, gen: e.gen}
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -181,42 +296,80 @@ func (s *Simulator) After(d time.Duration, fn func()) Timer {
 	return s.At(s.now.Add(d), fn)
 }
 
-// step delivers the next event. It reports false when no events remain.
-func (s *Simulator) step() bool {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
+// pop removes and returns the live event with the smallest (time, seq), or
+// nil when none remain.
+func (s *Simulator) pop() *event {
+	if s.sched == SchedulerWheel {
+		return s.wheelPop()
+	}
+	for len(s.far) > 0 {
+		e := heap.Pop(&s.far).(*event)
 		if e.dead {
+			s.recycle(e)
 			continue
 		}
-		e.dead = true
-		s.now = e.at
-		s.processed++
-		if s.obs != nil {
-			s.obs.OnEvent(e.at, e.seq)
-		}
-		e.fn()
-		return true
+		return e
 	}
-	return false
+	return nil
+}
+
+// peek reports the timestamp of the next live event without delivering it.
+// It may clean up cancelled events along the way but never reorders live
+// ones.
+func (s *Simulator) peek() (Time, bool) {
+	if s.sched == SchedulerWheel {
+		return s.wheelPeek()
+	}
+	for len(s.far) > 0 {
+		e := s.far[0]
+		if !e.dead {
+			return e.at, true
+		}
+		heap.Pop(&s.far)
+		s.recycle(e)
+	}
+	return 0, false
+}
+
+// step delivers the next event. It reports false when no events remain.
+func (s *Simulator) step() bool {
+	e := s.pop()
+	if e == nil {
+		return false
+	}
+	s.now = e.at
+	s.processed++
+	s.live--
+	if s.obs != nil {
+		s.obs.OnEvent(e.at, e.seq)
+	}
+	fn := e.fn
+	s.recycle(e)
+	fn()
+	return true
+}
+
+// syncTotal folds newly delivered events into the process-wide counter.
+func (s *Simulator) syncTotal() {
+	if d := s.processed - s.synced; d != 0 {
+		totalDelivered.Add(d)
+		s.synced = s.processed
+	}
 }
 
 // Run delivers events until none remain.
 func (s *Simulator) Run() {
 	for s.step() {
 	}
+	s.syncTotal()
 }
 
 // RunUntil delivers events with timestamps <= t, then advances the clock to
 // t. Events scheduled beyond t remain pending.
 func (s *Simulator) RunUntil(t Time) {
-	for len(s.events) > 0 {
-		// Peek at the root of the heap.
-		next := s.events[0]
-		if next.dead {
-			heap.Pop(&s.events)
-			continue
-		}
-		if next.at > t {
+	for {
+		at, ok := s.peek()
+		if !ok || at > t {
 			break
 		}
 		s.step()
@@ -224,18 +377,11 @@ func (s *Simulator) RunUntil(t Time) {
 	if s.now < t {
 		s.now = t
 	}
+	s.syncTotal()
 }
 
 // RunFor advances the simulation by d.
 func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
 
 // Pending reports the number of live scheduled events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
-}
+func (s *Simulator) Pending() int { return s.live }

@@ -1,0 +1,349 @@
+package sim
+
+// Two-level hashed timing wheel backing SchedulerWheel, the hierarchical
+// sibling of the standalone pacing wheel in internal/timingwheel (which
+// models Falcon's Carousel block and is driven *by* the simulator; this one
+// *is* the simulator's pending-event set, so it lives here and stores
+// events intrusively).
+//
+// Layout (see DESIGN.md §8 for the crossover analysis):
+//
+//	level 0:  1024 slots x 128ns   = one 131.072us granule
+//	level 1:   256 slots x 131us   = one ~33.55ms epoch
+//	beyond:   binary heap ("far"), cascaded inward as the clock advances
+//
+// Slots hash by absolute time (at>>shift & mask), so an event is placed
+// with two shifts and a compare. Each level keeps an occupancy bitmap, so
+// finding the next non-empty slot is a TrailingZeros scan rather than a
+// ring walk. Events inside one level-0 slot are unordered until the slot
+// becomes due, at which point the slot is drained into `cur` and sorted by
+// (time, seq) — restoring the exact global delivery order the heap
+// produces. Events scheduled into the granule currently being drained merge
+// into `cur` by binary insertion, which keeps same-instant FIFO exact even
+// for zero-delay self-scheduling callbacks.
+//
+// Cancellation is lazy (events are flagged dead and reclaimed when they
+// surface), and all slot slices, the sort buffer and the events themselves
+// are recycled, so steady-state scheduling performs no allocations.
+
+import (
+	"container/heap"
+	"math/bits"
+)
+
+const (
+	l0Shift = 7                // 128ns level-0 slot width
+	l0Bits  = 10               // 1024 level-0 slots
+	l1Shift = l0Shift + l0Bits // level-1 slot width = one level-0 granule
+	l1Bits  = 8                // 256 level-1 slots
+	l2Shift = l1Shift + l1Bits // epoch width = one full level-1 revolution
+
+	l0Slots = 1 << l0Bits
+	l1Slots = 1 << l1Bits
+	l0Mask  = l0Slots - 1
+	l1Mask  = l1Slots - 1
+)
+
+// wheelState is embedded in Simulator. All times are absolute, so slot
+// indices are pure hashes of the timestamp; l0Gran and epoch record which
+// granule/epoch each level currently covers, and l0Next/l1Next bound the
+// occupancy scan to slots not yet drained.
+type wheelState struct {
+	// cur holds the events of the level-0 slot being drained, sorted by
+	// (time, seq); curPos is the next undelivered index. curEnd is the
+	// exclusive time bound below which newly scheduled events must merge
+	// into cur to keep delivery order exact.
+	cur    []*event
+	curPos int
+	curEnd Time
+
+	l0      [l0Slots][]*event
+	l0bits  [l0Slots / 64]uint64
+	l0Count int    // events in level-0 slots (including cancelled ones)
+	l0Next  int    // first level-0 slot not yet drained this granule
+	l0Gran  uint64 // absolute granule number (at >> l1Shift) level 0 covers
+
+	l1      [l1Slots][]*event
+	l1bits  [l1Slots / 64]uint64
+	l1Count int
+	l1Next  int
+	epoch   uint64 // absolute epoch number (at >> l2Shift) level 1 covers
+}
+
+// nextBit returns the index of the first set bit at or after from, or -1.
+func nextBit(words []uint64, from int) int {
+	w := from >> 6
+	if w >= len(words) {
+		return -1
+	}
+	word := words[w] & (^uint64(0) << uint(from&63))
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(words) {
+			return -1
+		}
+		word = words[w]
+	}
+}
+
+// wheelInsert places e in cur, a wheel level or the far heap. Placement
+// depends only on e.at and state that pop keeps consistent with the clock,
+// so an insert is two shifts and an append in the common case.
+func (s *Simulator) wheelInsert(e *event) {
+	w := &s.wheel
+	if e.at < w.curEnd {
+		w.curInsert(e)
+		return
+	}
+	at := uint64(e.at)
+	if at>>l1Shift == w.l0Gran {
+		k := int(at>>l0Shift) & l0Mask
+		if len(w.l0[k]) == 0 {
+			w.l0bits[k>>6] |= 1 << uint(k&63)
+		}
+		w.l0[k] = append(w.l0[k], e)
+		w.l0Count++
+		return
+	}
+	if at>>l2Shift == w.epoch {
+		m := int(at>>l1Shift) & l1Mask
+		if len(w.l1[m]) == 0 {
+			w.l1bits[m>>6] |= 1 << uint(m&63)
+		}
+		w.l1[m] = append(w.l1[m], e)
+		w.l1Count++
+		return
+	}
+	heap.Push(&s.far, e)
+}
+
+// curInsert merges e into the sorted cur buffer (binary insertion). The
+// overwhelmingly common case — a callback scheduling at the current instant
+// — lands at the tail, because its seq is the largest yet issued.
+func (w *wheelState) curInsert(e *event) {
+	lo, hi := w.curPos, len(w.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if eventLess(w.cur[mid], e) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	w.cur = append(w.cur, nil)
+	copy(w.cur[lo+1:], w.cur[lo:])
+	w.cur[lo] = e
+}
+
+// wheelPop removes and returns the live event with the smallest
+// (time, seq), cascading level-1 slots and far-heap epochs inward as the
+// schedule drains. Invariant: every event in cur precedes every level-0
+// event, which precedes every level-1 event, which precedes every far
+// event — so scanning the regions in order always finds the global
+// minimum.
+func (s *Simulator) wheelPop() *event {
+	w := &s.wheel
+	for {
+		// Region 1: the sorted drain buffer.
+		for w.curPos < len(w.cur) {
+			e := w.cur[w.curPos]
+			w.cur[w.curPos] = nil
+			w.curPos++
+			if e.dead {
+				s.recycle(e)
+				continue
+			}
+			return e
+		}
+		if len(w.cur) > 0 {
+			w.cur = w.cur[:0]
+			w.curPos = 0
+		}
+		// Region 2: drain the next occupied level-0 slot into cur.
+		if w.l0Count > 0 {
+			k := nextBit(w.l0bits[:], w.l0Next)
+			items := w.l0[k]
+			w.l0[k] = items[:0]
+			w.l0bits[k>>6] &^= 1 << uint(k&63)
+			w.l0Count -= len(items)
+			w.l0Next = k + 1
+			// Addition, not OR: k+1 == l0Slots (the granule's last
+			// slot) must carry into the granule bits.
+			w.curEnd = Time(w.l0Gran<<l1Shift + uint64(k+1)<<l0Shift)
+			for _, e := range items {
+				if e.dead {
+					s.recycle(e)
+					continue
+				}
+				w.cur = append(w.cur, e)
+			}
+			sortEvents(w.cur)
+			continue
+		}
+		// Region 3: cascade the next occupied level-1 slot into level 0.
+		if w.l1Count > 0 {
+			m := nextBit(w.l1bits[:], w.l1Next)
+			items := w.l1[m]
+			w.l1[m] = items[:0]
+			w.l1bits[m>>6] &^= 1 << uint(m&63)
+			w.l1Count -= len(items)
+			w.l1Next = m + 1
+			w.l0Gran = w.epoch<<l1Bits | uint64(m)
+			w.l0Next = 0
+			for _, e := range items {
+				if e.dead {
+					s.recycle(e)
+					continue
+				}
+				s.wheelInsert(e)
+			}
+			continue
+		}
+		// Region 4: refill level 1 with the far heap's next epoch.
+		for len(s.far) > 0 && s.far[0].dead {
+			s.recycle(heap.Pop(&s.far).(*event))
+		}
+		if len(s.far) == 0 {
+			return nil
+		}
+		newEpoch := uint64(s.far[0].at) >> l2Shift
+		w.epoch = newEpoch
+		w.l1Next = 0
+		w.l0Gran = newEpoch << l1Bits
+		w.l0Next = 0
+		for len(s.far) > 0 {
+			e := s.far[0]
+			if uint64(e.at)>>l2Shift != newEpoch {
+				break
+			}
+			heap.Pop(&s.far)
+			if e.dead {
+				s.recycle(e)
+				continue
+			}
+			s.wheelInsert(e)
+		}
+	}
+}
+
+// wheelPeek reports the exact timestamp of the next live event without
+// advancing the wheel: RunUntil needs the precise value to decide whether
+// the event falls inside its bound, even mid-slot. Fully cancelled slots
+// encountered along the way are reclaimed, but no live event moves.
+func (s *Simulator) wheelPeek() (Time, bool) {
+	w := &s.wheel
+	for w.curPos < len(w.cur) {
+		e := w.cur[w.curPos]
+		if !e.dead {
+			return e.at, true
+		}
+		w.cur[w.curPos] = nil
+		w.curPos++
+		s.recycle(e)
+	}
+	if len(w.cur) > 0 {
+		w.cur = w.cur[:0]
+		w.curPos = 0
+	}
+	if at, ok := peekLevel(s, w.l0[:], w.l0bits[:], &w.l0Count, w.l0Next); ok {
+		return at, true
+	}
+	if at, ok := peekLevel(s, w.l1[:], w.l1bits[:], &w.l1Count, w.l1Next); ok {
+		return at, true
+	}
+	for len(s.far) > 0 {
+		e := s.far[0]
+		if !e.dead {
+			return e.at, true
+		}
+		heap.Pop(&s.far)
+		s.recycle(e)
+	}
+	return 0, false
+}
+
+// peekLevel finds the earliest live timestamp in a wheel level, clearing
+// slots that hold only cancelled events.
+func peekLevel(s *Simulator, slots [][]*event, bitmap []uint64, count *int, from int) (Time, bool) {
+	for *count > 0 {
+		k := nextBit(bitmap, from)
+		if k < 0 {
+			return 0, false
+		}
+		var min Time
+		live := 0
+		for _, e := range slots[k] {
+			if e.dead {
+				continue
+			}
+			if live == 0 || e.at < min {
+				min = e.at
+			}
+			live++
+		}
+		if live > 0 {
+			return min, true
+		}
+		for _, e := range slots[k] {
+			s.recycle(e)
+		}
+		*count -= len(slots[k])
+		slots[k] = slots[k][:0]
+		bitmap[k>>6] &^= 1 << uint(k&63)
+		from = k + 1
+	}
+	return 0, false
+}
+
+// sortEvents sorts by (time, seq) in place without allocating: quicksort
+// with median-of-three pivots, finishing small runs by insertion sort.
+// seq values are unique, so the order is total and stability is moot.
+func sortEvents(a []*event) {
+	for len(a) > 12 {
+		lo, mid, hi := 0, len(a)/2, len(a)-1
+		if eventLess(a[mid], a[lo]) {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if eventLess(a[hi], a[lo]) {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if eventLess(a[hi], a[mid]) {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for eventLess(a[i], pivot) {
+				i++
+			}
+			for eventLess(pivot, a[j]) {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// Recurse into the smaller side, loop on the larger.
+		if j-lo < hi-i {
+			sortEvents(a[lo : j+1])
+			a = a[i:]
+		} else {
+			sortEvents(a[i:])
+			a = a[:j+1]
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		e := a[i]
+		j := i - 1
+		for j >= 0 && eventLess(e, a[j]) {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = e
+	}
+}

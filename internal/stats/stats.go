@@ -1,6 +1,15 @@
 // Package stats provides the measurement primitives the benchmark harness
 // uses: latency series with percentiles, goodput accounting, time-bucketed
 // rate series, and Jain's fairness index.
+//
+// Percentiles use the nearest-rank definition on the sorted sample set, so
+// a given input always yields the same output — no interpolation and no
+// randomized selection. Combined with the simulator's deterministic event
+// order, this is what makes falconbench tables reproducible bit-for-bit:
+// identical seeds produce identical samples, and identical samples produce
+// identical table cells regardless of scheduler (wheel vs heap) or
+// -parallel pool width. Aggregators hold plain slices and are not
+// goroutine-safe; each experiment owns its own instances.
 package stats
 
 import (

@@ -1,0 +1,118 @@
+package testkit
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// randConstructors are the only math/rand package-level identifiers a
+// deterministic simulation may touch: constructors that wrap an explicit
+// Source, and types. Everything else (rand.Intn, rand.Float64, rand.Perm,
+// rand.Shuffle, rand.Seed, ...) draws from the package-global generator,
+// whose state is shared across goroutines and survives between runs — a
+// single call anywhere would make parallel falconbench runs diverge from
+// serial ones and break same-seed reproducibility.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true, // type, in signatures
+	"Source":    true, // type, in signatures
+	"Zipf":      true, // type, in signatures
+}
+
+// TestNoGlobalRand walks every Go file in the module and fails if any
+// selects a math/rand package-level function other than the explicit-Source
+// constructors. Each simulator owns its RNG (sim.New seeds one per
+// instance) and each parallel falconbench worker builds its simulators
+// locally, so no code path may reach for shared randomness.
+func TestNoGlobalRand(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+	var violations []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		// Names the file imports math/rand under (usually just "rand").
+		aliases := map[string]bool{}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if p != "math/rand" && p != "math/rand/v2" {
+				continue
+			}
+			switch {
+			case imp.Name != nil:
+				aliases[imp.Name.Name] = true
+			case p == "math/rand/v2":
+				aliases["rand"] = true
+			default:
+				aliases["rand"] = true
+			}
+		}
+		if len(aliases) == 0 {
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !aliases[id.Name] {
+				return true
+			}
+			if !randConstructors[sel.Sel.Name] {
+				violations = append(violations,
+					fset.Position(sel.Pos()).String()+": "+id.Name+"."+sel.Sel.Name)
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) > 0 {
+		t.Fatalf("package-level math/rand use (breaks deterministic, parallel-safe simulation):\n  %s",
+			strings.Join(violations, "\n  "))
+	}
+}
+
+// moduleRoot finds the directory holding go.mod by walking up from the
+// test's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,45 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+
+	"falcon/internal/sim"
+)
+
+// TestSweepSchedulerEquivalence runs fault-sweep scenarios under both
+// event schedulers and requires byte-identical trace hashes: the timing
+// wheel must reproduce the reference heap's (time, seq) delivery order
+// exactly, packet for packet, across the full protocol stack. This is the
+// end-to-end counterpart of internal/sim's TestWheelHeapEquivalence, which
+// checks the schedulers in isolation.
+func TestSweepSchedulerEquivalence(t *testing.T) {
+	scs := shortMatrix()
+	if !testing.Short() {
+		scs = Matrix()
+	}
+	seeds := []int64{0, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, sc := range scs {
+		for _, extra := range seeds {
+			sc := sc
+			sc.Seed += extra * 1000
+			t.Run(fmt.Sprintf("%s/seed%d", sc.Name, sc.Seed), func(t *testing.T) {
+				sc.Scheduler = sim.SchedulerWheel
+				wheel := Run(sc)
+				sc.Scheduler = sim.SchedulerHeap
+				heap := Run(sc)
+				if wheel.TraceHash != heap.TraceHash || wheel.Records != heap.Records {
+					t.Fatalf("schedulers diverge on %q seed %d:\n  wheel %016x (%d records)\n  heap  %016x (%d records)",
+						sc.Name, sc.Seed, wheel.TraceHash, wheel.Records, heap.TraceHash, heap.Records)
+				}
+				if wheel.SimTime != heap.SimTime || wheel.Completed != heap.Completed {
+					t.Fatalf("schedulers diverge on %q seed %d: simtime %v vs %v, completed %d vs %d",
+						sc.Name, sc.Seed, wheel.SimTime, heap.SimTime, wheel.Completed, heap.Completed)
+				}
+			})
+		}
+	}
+}

@@ -41,6 +41,12 @@ type Scenario struct {
 	Name string
 	Seed int64
 
+	// Scheduler selects the simulator's pending-event structure. The zero
+	// value is the production timing wheel; sim.SchedulerHeap runs the same
+	// scenario on the reference binary heap, which must yield the identical
+	// trace hash (asserted by TestSweepSchedulerEquivalence).
+	Scheduler sim.Scheduler
+
 	// Workload shape. Zero values take the defaults noted.
 	Workload Workload
 	Ops      int // transactions to issue (default 200)
@@ -172,7 +178,7 @@ func (t *sweepTarget) HandlePull(rsn uint64, p *wire.Packet) ([]byte, uint32, tl
 // packets and every resource pool drained back to zero.
 func Run(sc Scenario) Result {
 	sc = sc.withDefaults()
-	s := sim.New(sc.Seed)
+	s := sim.NewWithScheduler(sc.Seed, sc.Scheduler)
 	link := netsim.LinkConfig{GbpsRate: sc.Gbps, PropDelay: sc.PropDelay}
 	topo, fwd := netsim.PointToPoint(s, link)
 	rev := topo.ToRs[0].RouteTo(topo.Hosts[0].ID)[0]

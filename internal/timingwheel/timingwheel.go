@@ -10,6 +10,16 @@
 //
 // The wheel is driven by the discrete-event simulator: it arms a single
 // sim.Timer for the earliest non-empty slot, so an idle wheel costs nothing.
+//
+// Relationship to the simulator's own timing wheel: internal/sim also
+// schedules with a hashed hierarchical wheel (see internal/sim/wheel.go),
+// but the two sit on opposite sides of the clock. This package models a
+// hardware block *inside* the simulation — it consumes sim.Timer and its
+// slot granularity is a modeled property of the pacer — whereas sim's wheel
+// *implements* sim.Timer itself and must reproduce exact (time, seq)
+// delivery order. They cannot share code without an import cycle, and they
+// shouldn't: one is a model, the other is infrastructure. DESIGN.md §8
+// covers the infrastructure wheel's layout and performance.
 package timingwheel
 
 import (

@@ -7,6 +7,15 @@
 // Workloads are written against the Messenger interface so the same
 // collective code runs over RDMA-Falcon and over the TCP software stack —
 // the comparison the paper's Figures 25–31 make.
+//
+// Every generator is deterministic and self-contained: randomness (Poisson
+// gaps, jittered compute times) comes exclusively from the owning
+// simulator's seeded RNG via sim.Rand(), never from package-level
+// math/rand (enforced by internal/testkit's TestNoGlobalRand). Because a
+// workload touches no state outside its simulator, whole experiments are
+// embarrassingly parallel — falconbench -parallel runs one experiment per
+// goroutine, each with its own simulators, and produces bit-identical
+// tables at any pool width.
 package workload
 
 import (
