@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test short race sweep fuzz vet bench ci
+.PHONY: all build test short race sweep fuzz vet bench metrics ci
 
-all: build test
+all: build vet test
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,15 @@ bench:
 	$(GO) test -run NONE -bench 'BenchmarkScheduler' -benchmem ./internal/sim/
 	$(GO) run ./cmd/falconbench -quick -json BENCH_pr2.json \
 		-run 'fig1|fig10|fig13|fig18|fig20a|fig22b|fig25|table4'
+
+# Regenerate the committed telemetry artifacts: deterministic per-figure
+# metric snapshots (BENCH_pr3_metrics.json) and virtual-clock time series
+# (BENCH_pr3_series/*.csv) for the loss-recovery, incast and multipath
+# figures. Byte-identical across reruns — `git diff` after this target
+# should be empty unless behaviour changed. See DESIGN.md §9.
+metrics:
+	$(GO) run ./cmd/falconbench -quick -run 'fig10|fig13|fig15' \
+		-metrics BENCH_pr3_metrics.json -series BENCH_pr3_series
 
 # Regenerate every table at full measurement windows (several minutes).
 bench-full:

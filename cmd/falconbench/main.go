@@ -13,6 +13,13 @@
 //	                                   # performance report (events/sec,
 //	                                   # ns/event, allocs/event, wall time
 //	                                   # per figure)
+//	falconbench -quick -run 'fig10|fig13|fig15' \
+//	    -metrics BENCH_pr3_metrics.json \
+//	    -series BENCH_pr3_series       # instrumented run: deterministic
+//	                                   # per-figure metric snapshots plus
+//	                                   # virtual-clock time-series CSVs
+//	                                   # (byte-identical across same-seed
+//	                                   # runs; forces serial execution)
 //	falconbench -sched heap            # A/B the reference heap scheduler;
 //	                                   # tables must be identical
 //	falconbench -cpuprofile cpu.pprof  # pprof profiles of the run
@@ -33,6 +40,7 @@ import (
 
 	"falcon/internal/experiments"
 	"falcon/internal/sim"
+	"falcon/internal/telemetry"
 )
 
 func main() {
@@ -41,6 +49,8 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter measurement windows")
 	parallel := flag.Int("parallel", 1, "worker pool width (independent simulators per goroutine)")
 	jsonPath := flag.String("json", "", "write a BENCH_*.json performance report to this file")
+	metricsPath := flag.String("metrics", "", "write a deterministic per-figure metrics JSON to this file (forces a serial instrumented run)")
+	seriesDir := flag.String("series", "", "write per-figure time-series CSVs into this directory (forces a serial instrumented run)")
 	sched := flag.String("sched", "wheel", "event scheduler: wheel (default) or heap (reference)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
@@ -95,7 +105,39 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	rep := experiments.Run(matched, *quick, *parallel, os.Stdout)
+	var rep experiments.BenchReport
+	if *metricsPath != "" || *seriesDir != "" {
+		var suites []*telemetry.Suite
+		rep, suites = experiments.RunInstrumented(matched, *quick, os.Stdout)
+		if *metricsPath != "" {
+			m := experiments.NewMetricsReport(rep)
+			f, err := os.Create(*metricsPath)
+			if err == nil {
+				err = m.WriteJSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *seriesDir != "" {
+			for i, tel := range suites {
+				paths, err := tel.WriteSeries(*seriesDir, matched[i].Name)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "series: %v\n", err)
+					os.Exit(1)
+				}
+				for _, p := range paths {
+					fmt.Printf("wrote %s\n", p)
+				}
+			}
+		}
+	} else {
+		rep = experiments.Run(matched, *quick, *parallel, os.Stdout)
+	}
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

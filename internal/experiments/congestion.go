@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"falcon/internal/core"
@@ -10,6 +11,7 @@ import (
 	"falcon/internal/roce"
 	"falcon/internal/sim"
 	"falcon/internal/stats"
+	"falcon/internal/telemetry"
 	"falcon/internal/workload"
 )
 
@@ -21,7 +23,17 @@ import (
 // Scaled down: the paper sweeps to 1000 QPs/host (5000:1); the simulator
 // sweeps to 100/host (500:1), which already exceeds the
 // bandwidth-delay product per flow by orders of magnitude.
-func Fig13(runFor time.Duration) *Table {
+func Fig13(runFor time.Duration) *Table { return fig13(runFor, nil) }
+
+// Fig13Tel is the instrumented Fig13: each Falcon incast exports the
+// server-downlink port counters (queue extremes, ECN marks, drops), one
+// representative connection's PDL/congestion state, the server NIC
+// pipeline counters and the server FAE's delay histograms; the 20-QP cell
+// additionally records the queue-depth and cwnd time series — the incast
+// trace behind the figure. The table is identical to Fig13's.
+func Fig13Tel(runFor time.Duration, tel *telemetry.Suite) *Table { return fig13(runFor, tel) }
+
+func fig13(runFor time.Duration, tel *telemetry.Suite) *Table {
 	t := &Table{
 		Title:   "Figure 13: incast, 5 clients x N QPs of 1MB writes to one server",
 		Columns: []string{"transport", "QPs/host", "mean/ideal", "p50/ideal", "p99/ideal", "goodput Gbps", "Jain"},
@@ -29,7 +41,7 @@ func Fig13(runFor time.Duration) *Table {
 	const gbps = 200
 	const opBytes = 1 << 20
 	for _, qps := range []int{1, 4, 20, 100} {
-		m, p50, p99, goodput, jain := falconIncast(qps, opBytes, gbps, runFor)
+		m, p50, p99, goodput, jain := falconIncast(qps, opBytes, gbps, runFor, tel)
 		ideal := idealIncastLatency(qps, opBytes, gbps)
 		t.Rows = append(t.Rows, []string{
 			"Falcon", f1(float64(qps)),
@@ -61,7 +73,7 @@ func idealIncastLatency(qpsPerHost, opBytes int, gbps float64) time.Duration {
 	return time.Duration(float64(opBytes) * 8 / perFlowGbps)
 }
 
-func falconIncast(qpsPerHost, opBytes int, gbps float64, runFor time.Duration) (mean, p50, p99 time.Duration, goodput, jain float64) {
+func falconIncast(qpsPerHost, opBytes int, gbps float64, runFor time.Duration, tel *telemetry.Suite) (mean, p50, p99 time.Duration, goodput, jain float64) {
 	s := sim.New(13)
 	link := netsim.LinkConfig{GbpsRate: gbps, PropDelay: time.Microsecond}
 	topo := netsim.Star(s, 6, link)
@@ -87,6 +99,26 @@ func falconIncast(qpsPerHost, opBytes int, gbps float64, runFor time.Duration) (
 				return err == nil
 			}, nil)
 			issuer.Start()
+		}
+	}
+	if tel != nil {
+		// The incast bottleneck is the switch's downlink to the server:
+		// its queue is where 5*qps flows collide.
+		down := topo.ToRs[0].RouteTo(topo.Hosts[0].ID)[0]
+		prefix := fmt.Sprintf("fig13/qps%d", qpsPerHost)
+		reg := tel.Registry()
+		telemetry.CollectPort(reg, prefix+"/server_downlink", down)
+		telemetry.CollectPDL(reg, prefix+"/conn0", eps[0].PDL())
+		telemetry.CollectNIC(reg, prefix+"/server", server.NIC())
+		// ACK events (RTT / fabric-delay samples) are processed by the
+		// initiator's engine, so observe the first client, not the server.
+		telemetry.CollectFAE(reg, prefix+"/client0", eps[0].Node().Engine())
+		telemetry.ObserveFAE(reg, prefix+"/client0", eps[0].Node().Engine())
+		if qpsPerHost == 20 {
+			sp := tel.Sampler("qps20", s, 20*time.Microsecond)
+			telemetry.TrackPDL(sp, "conn0", eps[0].PDL())
+			telemetry.TrackPort(sp, "server_downlink", down)
+			sp.Start(sim.Time(runFor))
 		}
 	}
 	s.RunUntil(sim.Time(runFor))

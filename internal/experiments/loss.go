@@ -10,6 +10,7 @@ import (
 	"falcon/internal/roce"
 	"falcon/internal/sim"
 	"falcon/internal/stats"
+	"falcon/internal/telemetry"
 	"falcon/internal/workload"
 )
 
@@ -17,7 +18,16 @@ import (
 // ops" (§6.1.1): a 1:1 experiment with 8KB ops and random drops of the
 // named packet class, sweeping the drop percentage. Falcon holds goodput;
 // RoCE-SR helps only Writes and Read Responses; RoCE-GBN collapses.
-func Fig10(runFor time.Duration) *Table {
+func Fig10(runFor time.Duration) *Table { return fig10(runFor, nil) }
+
+// Fig10Tel is the instrumented Fig10: every Falcon cell exports its PDL
+// loss-recovery counters (retransmit causes, ACK coalescing, NACK codes)
+// and the representative Write/1%-drop cell additionally records a
+// cwnd-and-retransmit time series — the loss-recovery trace behind the
+// figure. The table is identical to Fig10's: telemetry only observes.
+func Fig10Tel(runFor time.Duration, tel *telemetry.Suite) *Table { return fig10(runFor, tel) }
+
+func fig10(runFor time.Duration, tel *telemetry.Suite) *Table {
 	t := &Table{
 		Title:   "Figure 10: goodput (Gbps) under random drops, 8KB ops, 200G link",
 		Columns: []string{"op", "drop%", "Falcon", "RoCE-SR", "RoCE-GBN"},
@@ -39,6 +49,19 @@ func Fig10(runFor time.Duration) *Table {
 			falcon := func() float64 {
 				p := newFalconP2P(1, gbps, multipathConn())
 				applyDrop(sb.name, p.forward, p.reverse, drop)
+				if tel != nil {
+					prefix := "fig10/" + sb.name + "/drop" + f1(drop)
+					reg := tel.Registry()
+					telemetry.CollectPDL(reg, prefix, p.epA.PDL())
+					telemetry.CollectTL(reg, prefix, p.epA.TL())
+					telemetry.CollectPort(reg, prefix+"/fwd", p.forward)
+					if sb.name == "Write" && drop == 1 {
+						sp := tel.Sampler("write_drop1", p.sim, 20*time.Microsecond)
+						telemetry.TrackPDL(sp, "conn", p.epA.PDL())
+						telemetry.TrackPort(sp, "fwd", p.forward)
+						sp.Start(sim.Time(runFor))
+					}
+				}
 				return p.goodput(sb.kind, 8192, 48, runFor)
 			}()
 			sr := func() float64 {

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"falcon/internal/telemetry"
+)
+
+// exportSuite renders a suite the way falconbench -metrics/-series would:
+// the registry snapshot as JSON plus every sampler CSV, keyed by file
+// name.
+func exportSuite(t *testing.T, tel *telemetry.Suite) ([]byte, map[string][]byte) {
+	t.Helper()
+	var j bytes.Buffer
+	snap := tel.Snapshot(0)
+	if err := snap.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths, err := tel.WriteSeries(dir, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series[filepath.Base(p)] = b
+	}
+	return j.Bytes(), series
+}
+
+// TestInstrumentedExportDeterminism is the -metrics/-series acceptance
+// check of ISSUE 3: two same-seed instrumented runs of each instrumented
+// figure family must export byte-identical metrics JSON and series CSVs,
+// and the table must equal the uninstrumented run's — telemetry observes,
+// it never perturbs.
+func TestInstrumentedExportDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	const runFor = 500 * time.Microsecond
+	families := []struct {
+		name  string
+		plain func(time.Duration) *Table
+		tel   func(time.Duration, *telemetry.Suite) *Table
+	}{
+		{"loss/Fig10", Fig10, Fig10Tel},
+		{"congestion/Fig13", Fig13, Fig13Tel},
+		{"multipath/Fig15", Fig15, Fig15Tel},
+	}
+	for _, fam := range families {
+		fam := fam
+		t.Run(fam.name, func(t *testing.T) {
+			t.Parallel()
+			tel1, tel2 := telemetry.NewSuite(), telemetry.NewSuite()
+			tbl1 := fam.tel(runFor, tel1)
+			tbl2 := fam.tel(runFor, tel2)
+			if !reflect.DeepEqual(tbl1, tbl2) {
+				t.Fatalf("two same-seed instrumented runs differ:\nfirst: %+v\nsecond: %+v", tbl1, tbl2)
+			}
+			if plain := fam.plain(runFor); !reflect.DeepEqual(tbl1, plain) {
+				t.Fatalf("telemetry perturbed the table:\ninstrumented: %+v\nplain: %+v", tbl1, plain)
+			}
+
+			j1, s1 := exportSuite(t, tel1)
+			j2, s2 := exportSuite(t, tel2)
+			if len(tel1.Snapshot(0).Metrics) == 0 {
+				t.Fatal("instrumented run exported no metrics")
+			}
+			if !bytes.Equal(j1, j2) {
+				t.Fatalf("metrics JSON differs between same-seed runs:\n--- first ---\n%s\n--- second ---\n%s", j1, j2)
+			}
+			if tel1.SamplerCount() == 0 {
+				t.Fatal("instrumented run registered no samplers")
+			}
+			if len(s1) != len(s2) {
+				t.Fatalf("series file sets differ: %d vs %d", len(s1), len(s2))
+			}
+			for name, b1 := range s1 {
+				b2, ok := s2[name]
+				if !ok {
+					t.Fatalf("second run missing series %q", name)
+				}
+				if !bytes.Equal(b1, b2) {
+					t.Fatalf("series %q differs between same-seed runs", name)
+				}
+				if !bytes.HasPrefix(b1, []byte("t_ns,")) || bytes.Count(b1, []byte("\n")) < 3 {
+					t.Fatalf("series %q looks empty or malformed:\n%s", name, b1)
+				}
+			}
+		})
+	}
+}
+
+// TestRunInstrumentedReport checks the runner-level plumbing: figures
+// carry metric snapshots, suites align with entries, and the stripped
+// MetricsReport keeps only instrumented figures.
+func TestRunInstrumentedReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	// fig19 is analytic (fast, uninstrumented); fig15's RunTel at quick
+	// windows would dominate the suite, so drive the runner with a tiny
+	// synthetic instrumented entry instead.
+	entries := pickEntries(t, "fig19", "fig21")
+	entries = append(entries, Entry{
+		Name: "synthetic",
+		Desc: "test-only instrumented entry",
+		Run:  func(q bool) *Table { return &Table{Title: "synthetic", Columns: []string{"v"}} },
+		RunTel: func(q bool, tel *telemetry.Suite) *Table {
+			tel.Registry().Counter("synthetic/ran").Inc()
+			return &Table{Title: "synthetic", Columns: []string{"v"}}
+		},
+	})
+	var out bytes.Buffer
+	rep, suites := RunInstrumented(entries, true, &out)
+	if len(suites) != len(entries) {
+		t.Fatalf("suites = %d, want %d", len(suites), len(entries))
+	}
+	for i, fr := range rep.Figures {
+		if fr.Name != entries[i].Name {
+			t.Fatalf("figure %d = %q, want %q", i, fr.Name, entries[i].Name)
+		}
+		if fr.Metrics == nil {
+			t.Fatalf("figure %q has no metrics snapshot", fr.Name)
+		}
+	}
+	if v, ok := rep.Figures[2].Metrics.Get("synthetic/ran"); !ok || v != 1 {
+		t.Fatalf("instrumented entry did not run through RunTel: %v %v", v, ok)
+	}
+	m := NewMetricsReport(rep)
+	if len(m.Figures) != 1 || m.Figures[0].Name != "synthetic" {
+		t.Fatalf("metrics report should keep only instrumented figures: %+v", m.Figures)
+	}
+	var j1, j2 bytes.Buffer
+	if err := m.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("MetricsReport JSON not stable")
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"falcon/internal/core"
@@ -9,6 +10,7 @@ import (
 	"falcon/internal/rdma"
 	"falcon/internal/sim"
 	"falcon/internal/stats"
+	"falcon/internal/telemetry"
 	"falcon/internal/workload"
 )
 
@@ -25,7 +27,10 @@ func rackPair(seed int64, hostsPerRack, spines int) (*sim.Simulator, *netsim.Top
 
 // mpLoadRun drives host-pair traffic at the offered load (fraction of
 // fabric capacity) and returns mean/p99 op latency and achieved goodput.
-func mpLoadRun(seed int64, connCfg core.ConnConfig, load float64, runFor time.Duration) (p50, p99 time.Duration, achievedGbps float64) {
+// With a non-nil suite the run exports the first pair's connection state,
+// node-0's FAE delay histograms and ToR-uplink-0's port counters under
+// prefix; the 60%-load cell records the multipath time series.
+func mpLoadRun(seed int64, connCfg core.ConnConfig, load float64, runFor time.Duration, tel *telemetry.Suite, prefix string) (p50, p99 time.Duration, achievedGbps float64) {
 	const hostsPerRack = 8
 	const spines = 4
 	fabricGbps := float64(spines) * 200
@@ -37,6 +42,7 @@ func mpLoadRun(seed int64, connCfg core.ConnConfig, load float64, runFor time.Du
 	const opBytes = 64 << 10
 	var lat stats.Series
 	var delivered uint64
+	var firstEp *core.Endpoint
 	perPairRate := load * fabricGbps / float64(hostsPerRack) // Gbps per pair
 	opsPerSec := perPairRate * 1e9 / 8 / opBytes
 	for i := 0; i < hostsPerRack; i++ {
@@ -45,6 +51,9 @@ func mpLoadRun(seed int64, connCfg core.ConnConfig, load float64, runFor time.Du
 		epA, epB := cl.Connect(a, b, connCfg)
 		qa := rdma.NewQP(epA, rdma.Config{})
 		rdma.NewQP(epB, rdma.Config{}).RegisterMemoryLen(1 << 40)
+		if firstEp == nil {
+			firstEp = epA
+		}
 		gen := workload.NewPoisson(s, s.Rand(), opsPerSec, 1<<30, func() {
 			start := s.Now()
 			qa.Write(0, 0, nil, opBytes, func(c rdma.Completion) {
@@ -56,20 +65,46 @@ func mpLoadRun(seed int64, connCfg core.ConnConfig, load float64, runFor time.Du
 		})
 		gen.Start()
 	}
+	if tel != nil {
+		// Cross-rack traffic fans over the ToR's spine uplinks; uplink 0
+		// is one of the ECMP paths multipath load-balances across.
+		uplink := topo.ToRs[0].RouteTo(topo.Hosts[hostsPerRack].ID)[0]
+		reg := tel.Registry()
+		telemetry.CollectPDL(reg, prefix+"/conn0", firstEp.PDL())
+		telemetry.CollectTL(reg, prefix+"/conn0", firstEp.TL())
+		telemetry.CollectPort(reg, prefix+"/tor_uplink0", uplink)
+		telemetry.CollectFAE(reg, prefix+"/node0", nodes[0].Engine())
+		telemetry.ObserveFAE(reg, prefix+"/node0", nodes[0].Engine())
+		if load == 0.6 {
+			sp := tel.Sampler("load60", s, 20*time.Microsecond)
+			telemetry.TrackPDL(sp, "conn0", firstEp.PDL())
+			telemetry.TrackPort(sp, "tor_uplink0", uplink)
+			sp.Start(sim.Time(runFor))
+		}
+	}
 	s.RunUntil(sim.Time(runFor))
 	return lat.DurationPercentile(50), lat.DurationPercentile(99), stats.Gbps(delivered, runFor)
 }
 
 // Fig15 reproduces "multipath op latency vs offered load": single-path
 // connections hit their latency wall far earlier than multipath ones.
-func Fig15(runFor time.Duration) *Table {
+func Fig15(runFor time.Duration) *Table { return fig15(runFor, nil) }
+
+// Fig15Tel is the instrumented Fig15: every multipath load point exports
+// connection, FAE and spine-uplink metrics, and the 60%-load point records
+// the cwnd/uplink-queue time series — the multipath trace behind the
+// figure. The table is identical to Fig15's.
+func Fig15Tel(runFor time.Duration, tel *telemetry.Suite) *Table { return fig15(runFor, tel) }
+
+func fig15(runFor time.Duration, tel *telemetry.Suite) *Table {
 	t := &Table{
 		Title:   "Figure 15/16: rack-level 8<->8 hosts, 4 spines, 64KB writes",
 		Columns: []string{"load %fabric", "multi p50", "multi p99", "multi Gbps", "single p50", "single p99", "single Gbps"},
 	}
 	for _, load := range []float64{0.2, 0.4, 0.6, 0.75, 0.9} {
-		mp50, mp99, mg := mpLoadRun(15, multipathConn(), load, runFor)
-		sp50, sp99, sg := mpLoadRun(15, singlePathConn(), load, runFor)
+		prefix := fmt.Sprintf("fig15/load%d", int(load*100+0.5))
+		mp50, mp99, mg := mpLoadRun(15, multipathConn(), load, runFor, tel, prefix)
+		sp50, sp99, sg := mpLoadRun(15, singlePathConn(), load, runFor, nil, "")
 		t.Rows = append(t.Rows, []string{
 			f1(load * 100), dur(mp50), dur(mp99), f1(mg), dur(sp50), dur(sp99), f1(sg),
 		})
@@ -87,8 +122,8 @@ func Fig17(runFor time.Duration) *Table {
 	rr := multipathConn()
 	rr.PDL.Policy = pdl.PolicyRoundRobin
 	for _, load := range []float64{0.5, 0.7, 0.9} {
-		ap50, ap99, _ := mpLoadRun(17, multipathConn(), load, runFor)
-		rp50, rp99, _ := mpLoadRun(17, rr, load, runFor)
+		ap50, ap99, _ := mpLoadRun(17, multipathConn(), load, runFor, nil, "")
+		rp50, rp99, _ := mpLoadRun(17, rr, load, runFor, nil, "")
 		t.Rows = append(t.Rows, []string{
 			f1(load * 100), dur(ap50), dur(ap99), dur(rp50), dur(rp99),
 		})

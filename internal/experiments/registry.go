@@ -1,14 +1,25 @@
 package experiments
 
-import "time"
+import (
+	"time"
+
+	"falcon/internal/telemetry"
+)
 
 // Entry is one runnable experiment: a paper table or figure plus the
 // ablations. cmd/falconbench selects entries by name regex; the runner in
 // runner.go executes them serially or across a worker pool.
+//
+// RunTel, when non-nil, is the instrumented variant: it must produce the
+// exact same table as Run (telemetry is passive — collectors read state
+// lazily and samplers only observe), while additionally registering
+// metrics and time series on the suite. RunInstrumented prefers it;
+// entries without one still run, they just export an empty snapshot.
 type Entry struct {
-	Name string
-	Desc string
-	Run  func(quick bool) *Table
+	Name   string
+	Desc   string
+	Run    func(quick bool) *Table
+	RunTel func(quick bool, tel *telemetry.Suite) *Table
 }
 
 // windows returns the measurement duration for normal vs quick runs.
@@ -27,91 +38,97 @@ func windows(full, quick time.Duration) func(bool) time.Duration {
 // share no mutable state, so the worker pool may run any subset
 // concurrently without changing a single table cell.
 var registry = []Entry{
-	{"fig1", "HW vs SW op rate and tail latency", func(q bool) *Table {
+	{Name: "fig1", Desc: "HW vs SW op rate and tail latency", Run: func(q bool) *Table {
 		return Fig1(windows(4*time.Millisecond, 2*time.Millisecond)(q))
 	}},
-	{"fig3", "transport multipath vs app-level connections", func(q bool) *Table {
+	{Name: "fig3", Desc: "transport multipath vs app-level connections", Run: func(q bool) *Table {
 		return Fig3(windows(4*time.Millisecond, 2*time.Millisecond)(q))
 	}},
-	{"fig10", "goodput under losses per op type", func(q bool) *Table {
+	{Name: "fig10", Desc: "goodput under losses per op type", Run: func(q bool) *Table {
 		return Fig10(windows(8*time.Millisecond, 3*time.Millisecond)(q))
+	}, RunTel: func(q bool, tel *telemetry.Suite) *Table {
+		return Fig10Tel(windows(8*time.Millisecond, 3*time.Millisecond)(q), tel)
 	}},
-	{"fig11a", "goodput under reordering", func(q bool) *Table {
+	{Name: "fig11a", Desc: "goodput under reordering", Run: func(q bool) *Table {
 		return Fig11a(windows(8*time.Millisecond, 3*time.Millisecond)(q))
 	}},
-	{"fig11b", "RACK-TLP vs OOO-distance", func(q bool) *Table {
+	{Name: "fig11b", Desc: "RACK-TLP vs OOO-distance", Run: func(q bool) *Table {
 		return Fig11b(windows(10*time.Millisecond, 4*time.Millisecond)(q))
 	}},
-	{"fig12", "RoCE modes under losses", func(q bool) *Table {
+	{Name: "fig12", Desc: "RoCE modes under losses", Run: func(q bool) *Table {
 		return Fig12(windows(8*time.Millisecond, 3*time.Millisecond)(q))
 	}},
-	{"fig13", "incast congestion control", func(q bool) *Table {
+	{Name: "fig13", Desc: "incast congestion control", Run: func(q bool) *Table {
 		return Fig13(windows(8*time.Millisecond, 4*time.Millisecond)(q))
+	}, RunTel: func(q bool, tel *telemetry.Suite) *Table {
+		return Fig13Tel(windows(8*time.Millisecond, 4*time.Millisecond)(q), tel)
 	}},
-	{"fig14", "end-host congestion (PCIe downgrade)", func(q bool) *Table {
+	{Name: "fig14", Desc: "end-host congestion (PCIe downgrade)", Run: func(q bool) *Table {
 		return Fig14(windows(3*time.Millisecond, 2*time.Millisecond)(q))
 	}},
-	{"fig15", "multipath latency/goodput vs load (fig16 series included)", func(q bool) *Table {
+	{Name: "fig15", Desc: "multipath latency/goodput vs load (fig16 series included)", Run: func(q bool) *Table {
 		return Fig15(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}, RunTel: func(q bool, tel *telemetry.Suite) *Table {
+		return Fig15Tel(windows(4*time.Millisecond, 2*time.Millisecond)(q), tel)
 	}},
-	{"fig17", "path scheduling policy", func(q bool) *Table {
+	{Name: "fig17", Desc: "path scheduling policy", Run: func(q bool) *Table {
 		return Fig17(windows(4*time.Millisecond, 2*time.Millisecond)(q))
 	}},
-	{"fig18", "ML training comm time (multipath)", func(q bool) *Table {
+	{Name: "fig18", Desc: "ML training comm time (multipath)", Run: func(q bool) *Table {
 		return Fig18()
 	}},
-	{"fig19", "message size scaling", func(q bool) *Table {
+	{Name: "fig19", Desc: "message size scaling", Run: func(q bool) *Table {
 		return Fig19()
 	}},
-	{"fig20a", "read-incast bandwidth scaling vs SW", func(q bool) *Table {
+	{Name: "fig20a", Desc: "read-incast bandwidth scaling vs SW", Run: func(q bool) *Table {
 		return Fig20a(windows(4*time.Millisecond, 2*time.Millisecond)(q))
 	}},
-	{"fig20b", "op-rate scaling vs QP count", func(q bool) *Table {
+	{Name: "fig20b", Desc: "op-rate scaling vs QP count", Run: func(q bool) *Table {
 		return Fig20b(windows(3*time.Millisecond, 2*time.Millisecond)(q))
 	}},
-	{"fig21", "connection-count RTT cliff", func(q bool) *Table {
+	{Name: "fig21", Desc: "connection-count RTT cliff", Run: func(q bool) *Table {
 		return Fig21()
 	}},
-	{"fig22a", "FAE event rate vs connections", func(q bool) *Table {
+	{Name: "fig22a", Desc: "FAE event rate vs connections", Run: func(q bool) *Table {
 		return Fig22a()
 	}},
-	{"fig22b", "impact of slow FAE", func(q bool) *Table {
+	{Name: "fig22b", Desc: "impact of slow FAE", Run: func(q bool) *Table {
 		return Fig22b(windows(4*time.Millisecond, 2*time.Millisecond)(q))
 	}},
-	{"fig23", "FAE state-size sensitivity", func(q bool) *Table {
+	{Name: "fig23", Desc: "FAE state-size sensitivity", Run: func(q bool) *Table {
 		return Fig23()
 	}},
-	{"fig24", "isolation via backpressure", func(q bool) *Table {
+	{Name: "fig24", Desc: "isolation via backpressure", Run: func(q bool) *Table {
 		return Fig24(windows(4*time.Millisecond, 2*time.Millisecond)(q))
 	}},
-	{"fig25", "MPI AllReduce vs TCP", func(q bool) *Table {
+	{Name: "fig25", Desc: "MPI AllReduce vs TCP", Run: func(q bool) *Table {
 		return Fig25()
 	}},
-	{"fig26", "MPI AllToAll vs TCP", func(q bool) *Table {
+	{Name: "fig26", Desc: "MPI AllToAll vs TCP", Run: func(q bool) *Table {
 		return Fig26()
 	}},
-	{"fig27", "GROMACS-like scaling", func(q bool) *Table {
+	{Name: "fig27", Desc: "GROMACS-like scaling", Run: func(q bool) *Table {
 		return Fig27()
 	}},
-	{"fig28", "WRF-like scaling", func(q bool) *Table {
+	{Name: "fig28", Desc: "WRF-like scaling", Run: func(q bool) *Table {
 		return Fig28()
 	}},
-	{"fig29", "VM live migration vs Pony Express", func(q bool) *Table {
+	{Name: "fig29", Desc: "VM live migration vs Pony Express", Run: func(q bool) *Table {
 		return Fig29()
 	}},
-	{"fig30", "MPI AllGather vs TCP", func(q bool) *Table {
+	{Name: "fig30", Desc: "MPI AllGather vs TCP", Run: func(q bool) *Table {
 		return Fig30()
 	}},
-	{"fig31", "MPI MultiPingPong vs TCP", func(q bool) *Table {
+	{Name: "fig31", Desc: "MPI MultiPingPong vs TCP", Run: func(q bool) *Table {
 		return Fig31()
 	}},
-	{"table4", "Near Local Flash vs local SSD", func(q bool) *Table {
+	{Name: "table4", Desc: "Near Local Flash vs local SSD", Run: func(q bool) *Table {
 		return Table4(windows(20*time.Millisecond, 8*time.Millisecond)(q))
 	}},
-	{"ecn", "ablation: ECN as a supplementary CC signal", func(q bool) *Table {
+	{Name: "ecn", Desc: "ablation: ECN as a supplementary CC signal", Run: func(q bool) *Table {
 		return AblationECN(windows(4*time.Millisecond, 2*time.Millisecond)(q))
 	}},
-	{"psp", "ablation: PSP inline-encryption overhead", func(q bool) *Table {
+	{Name: "psp", Desc: "ablation: PSP inline-encryption overhead", Run: func(q bool) *Table {
 		return AblationPSP(windows(4*time.Millisecond, 2*time.Millisecond)(q))
 	}},
 }

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"falcon/internal/sim"
+	"falcon/internal/telemetry"
 )
 
 // FigureReport is one figure's performance record.
@@ -39,6 +40,10 @@ type FigureReport struct {
 	EventsPerSec   float64 `json:"events_per_sec,omitempty"`
 	NsPerEvent     float64 `json:"ns_per_event,omitempty"`
 	AllocsPerEvent float64 `json:"allocs_per_event,omitempty"`
+
+	// Metrics is the figure's telemetry snapshot, present only on
+	// instrumented runs (RunInstrumented / falconbench -metrics).
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // BenchReport is the machine-readable summary of one falconbench run, the
@@ -94,6 +99,13 @@ func Run(entries []Entry, quick bool, parallel int, w io.Writer) BenchReport {
 // When measure is set (serial runs only), it attributes delivered events
 // and allocations to the figure.
 func runOne(e Entry, quick bool, w io.Writer, measure bool) FigureReport {
+	return runFigure(e.Name, func() *Table { return e.Run(quick) }, w, measure)
+}
+
+// runFigure is the shared body of runOne and the instrumented runner:
+// time one table-producing function, print its table, and (optionally)
+// attribute events and allocations.
+func runFigure(name string, run func() *Table, w io.Writer, measure bool) FigureReport {
 	var m0, m1 runtime.MemStats
 	var ev0 uint64
 	if measure {
@@ -101,12 +113,12 @@ func runOne(e Entry, quick bool, w io.Writer, measure bool) FigureReport {
 		ev0 = sim.TotalDelivered()
 	}
 	start := time.Now()
-	t := e.Run(quick)
+	t := run()
 	wall := time.Since(start)
 	t.Fprint(w)
-	fmt.Fprintf(w, "(%s in %v)\n\n", e.Name, wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "(%s in %v)\n\n", name, wall.Round(time.Millisecond))
 
-	fr := FigureReport{Name: e.Name, WallMS: float64(wall.Nanoseconds()) / 1e6}
+	fr := FigureReport{Name: name, WallMS: float64(wall.Nanoseconds()) / 1e6}
 	if measure {
 		runtime.ReadMemStats(&m1)
 		fr.Events = sim.TotalDelivered() - ev0

@@ -152,6 +152,11 @@ type Engine struct {
 	cfg  Config
 	sink func(Response)
 
+	// obs, when non-nil, observes every processed (event, response) pair
+	// before the response is delivered — telemetry's window into the CC
+	// loop (delay samples, cwnd evolution). One nil check when unset.
+	obs func(ev Event, r Response)
+
 	conns map[uint32]*connState
 
 	nextPath uint32 // path discriminator allocator for repathing
@@ -267,8 +272,17 @@ func (e *Engine) process(ev Event) {
 		fs.swift.OnFastRetransmit(ev.Now)
 	}
 
-	e.sink(e.buildResponse(ev.Conn, ev.Flow, cs, fs, repathed))
+	resp := e.buildResponse(ev.Conn, ev.Flow, cs, fs, repathed)
+	if e.obs != nil {
+		e.obs(ev, resp)
+	}
+	e.sink(resp)
 }
+
+// SetObserver attaches an event/response observer (nil detaches). It runs
+// synchronously inside event processing and must not mutate engine state;
+// telemetry uses it to build delay histograms and cwnd series.
+func (e *Engine) SetObserver(fn func(ev Event, r Response)) { e.obs = fn }
 
 func (cs *connState) updateRTT(rtt time.Duration) {
 	if rtt <= 0 {

@@ -186,6 +186,43 @@ type Probe interface {
 // SetProbe attaches a verification probe (nil detaches).
 func (c *Conn) SetProbe(p Probe) { c.probe = p }
 
+// multiProbe fans the probe callbacks out to several probes in order.
+type multiProbe []Probe
+
+func (ps multiProbe) OnSend(c *Conn, p *wire.Packet, retransmit bool) {
+	for _, pr := range ps {
+		pr.OnSend(c, p, retransmit)
+	}
+}
+
+func (ps multiProbe) OnReceive(c *Conn, p *wire.Packet) {
+	for _, pr := range ps {
+		pr.OnReceive(c, p)
+	}
+}
+
+// MultiProbe combines several probes into one, since SetProbe holds a
+// single slot. Probes run in argument order; nil entries are dropped, and
+// zero or one survivors collapse to nil or the probe itself so the
+// fan-out indirection is only paid when two or more observers (say, an
+// invariant checker, a trace hasher and a telemetry flight recorder) are
+// actually attached.
+func MultiProbe(ps ...Probe) Probe {
+	out := make(multiProbe, 0, len(ps))
+	for _, p := range ps {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
 // txPacket tracks one outstanding transmitted packet (the per-packet
 // context of §5.2's hardware error handling).
 type txPacket struct {
@@ -261,6 +298,26 @@ type Stats struct {
 	NacksReceived   uint64
 	DeliveredToTL   uint64
 	RxWindowDrops   uint64
+
+	// Retransmissions split by detection cause (§4.1's recovery
+	// hierarchy); the five sum to DataRetransmits.
+	RetxRACK        uint64 // RACK reordering-window expiry
+	RetxOOO         uint64 // OOO-distance ablation baseline
+	RetxTLP         uint64 // tail loss probes
+	RetxRTO         uint64 // timeout full-window scans
+	RetxNackBackoff uint64 // resource-NACK backoff re-sends
+
+	// ACK generation split: AcksImmediate were forced by the AR bit, the
+	// coalescing count, or a duplicate; AcksCoalesced were flushed by the
+	// coalescing timer. The two sum to AcksSent.
+	AcksImmediate uint64
+	AcksCoalesced uint64
+
+	// Received exception NACKs split by code; the three sum to
+	// NacksReceived.
+	NacksRnr      uint64
+	NacksResource uint64
+	NacksCie      uint64
 }
 
 // Conn is one Falcon connection's PDL instance (one direction's sender and

@@ -51,7 +51,7 @@ func (c *Conn) runRack(now sim.Time) {
 		}
 	}
 	for _, tp := range lost {
-		c.retransmit(tp, false)
+		c.retransmit(tp, retxRACK)
 	}
 	if len(lost) > 0 && c.cb.PostEvent != nil {
 		c.cb.PostEvent(fae.Event{
@@ -103,7 +103,7 @@ func (c *Conn) runOOODistance() {
 			if tp == nil || tp.acked || tp.nacked {
 				continue
 			}
-			c.retransmit(tp, false)
+			c.retransmit(tp, retxOOO)
 			retransmitted = true
 		}
 	}
@@ -140,7 +140,7 @@ func (c *Conn) onTLP() {
 	}
 	if probe != nil {
 		c.Stats.TLPProbes++
-		c.retransmit(probe, true)
+		c.retransmit(probe, retxTLP)
 	}
 	// The RTO remains armed as the backstop; TLP re-arms on new ACKs.
 }
@@ -180,7 +180,7 @@ func (c *Conn) onRTO() {
 					})
 				}
 			}
-			c.retransmit(tp, false)
+			c.retransmit(tp, retxRTO)
 		}
 	}
 	if c.rtoBackoff < 8 {

@@ -50,6 +50,7 @@ func (c *Conn) handleData(p *wire.Packet) {
 		// promptly so the sender converges.
 		c.Stats.Duplicates++
 		rf.t1, rf.t2, rf.valid = p.T1, int64(now), true
+		c.Stats.AcksImmediate++
 		c.sendAck(flowIdx)
 		return
 	case diff >= wire.BitmapBits:
@@ -92,9 +93,13 @@ func (c *Conn) handleData(p *wire.Packet) {
 	}
 	rf.pending++
 	if p.Flags&wire.FlagAckReq != 0 || rf.pending >= c.cfg.AckCoalesceCount {
+		c.Stats.AcksImmediate++
 		c.sendAck(flowIdx)
 	} else if !rf.ackTimer.Pending() {
-		rf.ackTimer = c.sim.After(c.cfg.AckCoalesceDelay, func() { c.sendAck(flowIdx) })
+		rf.ackTimer = c.sim.After(c.cfg.AckCoalesceDelay, func() {
+			c.Stats.AcksCoalesced++
+			c.sendAck(flowIdx)
+		})
 	}
 }
 
@@ -315,6 +320,14 @@ func (c *Conn) markAcked(ts *txSpace, psn uint32, perFlow []int) bool {
 // handleNack processes an exception NACK at the sender.
 func (c *Conn) handleNack(p *wire.Packet) {
 	c.Stats.NacksReceived++
+	switch p.NackCode {
+	case wire.NackRNR:
+		c.Stats.NacksRnr++
+	case wire.NackResourceExhausted:
+		c.Stats.NacksResource++
+	case wire.NackCIE:
+		c.Stats.NacksCie++
+	}
 	ts := c.tx[p.Space]
 	tp := ts.slot(p.PSN)
 	known := tp != nil && !tp.acked && tp.pkt.PSN == p.PSN
@@ -337,7 +350,7 @@ func (c *Conn) handleNack(p *wire.Packet) {
 			backoff := c.rto / 4
 			c.sim.After(backoff, func() {
 				if !tp.acked {
-					c.retransmit(tp, false)
+					c.retransmit(tp, retxNackBackoff)
 				}
 			})
 			// Parking the packet opened congestion window: the scheduler

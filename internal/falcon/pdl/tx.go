@@ -258,8 +258,24 @@ func (ts *txSpace) highestUnacked() *txPacket {
 	return nil
 }
 
-// retransmit re-sends a tracked packet, counting and flagging it.
-func (c *Conn) retransmit(tp *txPacket, tlp bool) {
+// retxCause identifies which recovery mechanism decided to re-send a
+// packet. The split matters for diagnosis: RACK/OOO retransmits indicate
+// fabric loss or reordering, TLP indicates tail silence, RTO indicates an
+// outage or a collapsed window, and NACK backoff indicates receiver
+// resource pressure rather than loss.
+type retxCause uint8
+
+const (
+	retxRACK retxCause = iota
+	retxOOO
+	retxTLP
+	retxRTO
+	retxNackBackoff
+)
+
+// retransmit re-sends a tracked packet, counting it against its cause and
+// flagging it on the wire.
+func (c *Conn) retransmit(tp *txPacket, cause retxCause) {
 	if c.failed || tp == nil || tp.acked {
 		return
 	}
@@ -268,5 +284,17 @@ func (c *Conn) retransmit(tp *txPacket, tlp bool) {
 		c.tx[tp.pkt.Space].parked--
 	}
 	tp.retx++
-	c.stampAndSend(tp, true, tlp)
+	switch cause {
+	case retxRACK:
+		c.Stats.RetxRACK++
+	case retxOOO:
+		c.Stats.RetxOOO++
+	case retxTLP:
+		c.Stats.RetxTLP++
+	case retxRTO:
+		c.Stats.RetxRTO++
+	case retxNackBackoff:
+		c.Stats.RetxNackBackoff++
+	}
+	c.stampAndSend(tp, true, cause == retxTLP)
 }

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Log-linear histogram layout. Values below 2^subBits land in unit-wide
+// buckets; above that, each power-of-two octave is split into 2^subBits
+// equal sub-buckets, bounding the relative quantile error at 2^-subBits
+// (6.25%). This is the HdrHistogram bucketing scheme restricted to integer
+// counts, chosen because every operation — recording and quantile
+// extraction — is pure integer math with no data-dependent branching, so
+// identical sample multisets always produce identical quantiles regardless
+// of arrival order.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits // sub-buckets per octave
+
+	// 64-bit values need bits.Len64(v)-histSubBits octaves beyond the
+	// linear region; the last octave (shift 59) tops out at index
+	// 60*16 + 15 = 975, so 976 buckets cover the full uint64 range.
+	histBuckets = (64-histSubBits)*histSubCount + histSubCount
+)
+
+// histIndex maps a value to its bucket. Values in [0, 16) get exact
+// buckets; larger values share a bucket with at most 1/16 relative spread.
+func histIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	shift := bits.Len64(v) - histSubBits - 1
+	return int(uint64(shift+1)*histSubCount + (v >> uint(shift)) - histSubCount)
+}
+
+// histLow returns the smallest value mapped to bucket i.
+func histLow(i int) uint64 {
+	if i < histSubCount {
+		return uint64(i)
+	}
+	shift := uint(i/histSubCount - 1)
+	off := uint64(i%histSubCount + histSubCount)
+	return off << shift
+}
+
+// histHigh returns the largest value mapped to bucket i.
+func histHigh(i int) uint64 {
+	if i < histSubCount {
+		return uint64(i)
+	}
+	shift := uint(i/histSubCount - 1)
+	return histLow(i) + (1 << shift) - 1
+}
+
+// Histogram is a fixed-size log-linear histogram over non-negative integer
+// samples (typically nanosecond latencies or byte counts). The zero value
+// is ready to use. Recording touches only the embedded arrays — no
+// allocation, ever — which is what lets telemetry leave histograms armed in
+// protocol hot paths. Quantiles are bounded-error: the returned value is
+// the upper edge of the bucket holding the nearest-rank sample, clamped to
+// the exact observed [Min, Max], so it never exceeds the true quantile by
+// more than 6.25%.
+type Histogram struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v uint64) {
+	h.counts[histIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// RecordDuration records a duration sample in nanoseconds. Negative
+// durations clamp to zero.
+func (h *Histogram) RecordDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the exact sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Min returns the smallest recorded sample (0 when empty).
+func (h *Histogram) Min() uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Mean returns the exact arithmetic mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the p-th percentile (0 < p <= 100) by nearest rank over
+// the bucketed samples. The result is the containing bucket's upper edge
+// clamped to the observed extremes.
+func (h *Histogram) Quantile(p float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(NearestRank(int(h.count), p))
+	var seen uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen > rank {
+			v := histHigh(i)
+			if v > h.max {
+				v = h.max
+			}
+			if v < h.min {
+				v = h.min
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// QuantileDuration is Quantile for duration-valued histograms.
+func (h *Histogram) QuantileDuration(p float64) time.Duration {
+	return time.Duration(h.Quantile(p))
+}
+
+// Reset clears the histogram for reuse without releasing its storage.
+func (h *Histogram) Reset() {
+	h.counts = [histBuckets]uint64{}
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+}
+
+// NearestRank maps a percentile (0 < p <= 100) over n samples to a
+// zero-based index into the sorted sample set, per the nearest-rank
+// definition: ceil(p/100*n) - 1, clamped to [0, n-1]. Series.Percentile
+// and Histogram.Quantile share this so the two report identical ranks for
+// identical sample multisets.
+func NearestRank(n int, p float64) int {
+	if n <= 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p/100*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return rank
+}

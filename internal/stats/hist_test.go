@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistIndexContinuity(t *testing.T) {
+	// Every value maps into exactly one bucket, buckets are contiguous,
+	// and low/high invert the index.
+	prev := -1
+	for v := uint64(0); v < 1<<20; v++ {
+		i := histIndex(v)
+		if i < prev {
+			t.Fatalf("bucket index decreased at v=%d: %d -> %d", v, prev, i)
+		}
+		if i != prev && i != prev+1 {
+			t.Fatalf("bucket index skipped at v=%d: %d -> %d", v, prev, i)
+		}
+		if lo, hi := histLow(i), histHigh(i); v < lo || v > hi {
+			t.Fatalf("v=%d outside bucket %d range [%d,%d]", v, i, lo, hi)
+		}
+		prev = i
+	}
+}
+
+func TestHistIndexExtremes(t *testing.T) {
+	for _, v := range []uint64{0, 1, 15, 16, 17, 1 << 32, math.MaxUint64} {
+		i := histIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("v=%d index %d out of [0,%d)", v, i, histBuckets)
+		}
+		if lo, hi := histLow(i), histHigh(i); v < lo || v > hi {
+			t.Fatalf("v=%d outside bucket %d range [%d,%d]", v, i, lo, hi)
+		}
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(uint64(i % 16)) // all in the exact linear region
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 15 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Quantile(50); got != 7 {
+		t.Fatalf("p50 = %d, want 7", got)
+	}
+	if got := h.Quantile(100); got != 15 {
+		t.Fatalf("p100 = %d, want 15", got)
+	}
+}
+
+func TestHistogramBoundedError(t *testing.T) {
+	// Compare against exact nearest-rank on the raw samples: the histogram
+	// quantile must be within 1/16 relative error.
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	var s Series
+	for i := 0; i < 10000; i++ {
+		v := uint64(rng.Int63n(50_000_000)) // up to 50ms in ns
+		h.Record(v)
+		s.Add(float64(v))
+	}
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9, 100} {
+		exact := s.Percentile(p)
+		approx := float64(h.Quantile(p))
+		if exact == 0 {
+			continue
+		}
+		rel := math.Abs(approx-exact) / exact
+		if rel > 1.0/histSubCount {
+			t.Errorf("p%v: exact=%v approx=%v rel err %.4f > %.4f",
+				p, exact, approx, rel, 1.0/histSubCount)
+		}
+	}
+}
+
+func TestHistogramOrderIndependence(t *testing.T) {
+	// Identical multisets recorded in different orders must produce
+	// identical quantiles — the determinism contract telemetry relies on.
+	vals := make([]uint64, 5000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range vals {
+		vals[i] = uint64(rng.Int63n(1 << 30))
+	}
+	var a, b Histogram
+	for _, v := range vals {
+		a.Record(v)
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		b.Record(vals[i])
+	}
+	for p := 1.0; p <= 100; p += 0.5 {
+		if a.Quantile(p) != b.Quantile(p) {
+			t.Fatalf("p%v differs by record order: %d vs %d", p, a.Quantile(p), b.Quantile(p))
+		}
+	}
+}
+
+func TestHistogramDurationAndReset(t *testing.T) {
+	var h Histogram
+	h.RecordDuration(-time.Second) // clamps to 0
+	h.RecordDuration(time.Millisecond)
+	if h.Count() != 2 || h.Min() != 0 {
+		t.Fatalf("count=%d min=%d", h.Count(), h.Min())
+	}
+	if got := h.QuantileDuration(100); got != time.Millisecond {
+		t.Fatalf("p100 = %v", got)
+	}
+	if h.Mean() != float64(time.Millisecond)/2 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(50) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramRecordNoAlloc(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestNearestRank(t *testing.T) {
+	cases := []struct {
+		n    int
+		p    float64
+		want int
+	}{
+		{0, 50, 0}, {1, 50, 0}, {100, 1, 0}, {100, 50, 49},
+		{100, 99, 98}, {100, 100, 99}, {3, 200, 2}, {3, -5, 0},
+	}
+	for _, c := range cases {
+		if got := NearestRank(c.n, c.p); got != c.want {
+			t.Errorf("NearestRank(%d, %v) = %d, want %d", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestSortFloatsNaNDeterministic(t *testing.T) {
+	nan := math.NaN()
+	a := []float64{3, nan, 1, nan, 2}
+	b := []float64{nan, 2, nan, 3, 1}
+	sortFloats(a)
+	sortFloats(b)
+	for i := range a {
+		an, bn := math.IsNaN(a[i]), math.IsNaN(b[i])
+		if an != bn || (!an && a[i] != b[i]) {
+			t.Fatalf("NaN sort order differs at %d: %v vs %v", i, a, b)
+		}
+	}
+	if !math.IsNaN(a[0]) || !math.IsNaN(a[1]) || a[2] != 1 {
+		t.Fatalf("NaNs should sort first: %v", a)
+	}
+}
+
+// Property: histogram quantile is monotone in p and within [Min, Max].
+func TestQuickHistogramMonotonic(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range raw {
+			h.Record(uint64(v))
+		}
+		prev := uint64(0)
+		for p := 1.0; p <= 100; p += 3 {
+			v := h.Quantile(p)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(uint64(i) * 37)
+	}
+}

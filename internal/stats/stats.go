@@ -80,23 +80,31 @@ func (s *Series) Max() float64 {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank.
+// nearest-rank (see NearestRank in hist.go, shared with Histogram).
 func (s *Series) Percentile(p float64) float64 {
 	if len(s.vals) == 0 {
 		return 0
 	}
 	if !s.sorted {
-		sort.Float64s(s.vals)
+		sortFloats(s.vals)
 		s.sorted = true
 	}
-	rank := int(math.Ceil(p/100*float64(len(s.vals)))) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(s.vals) {
-		rank = len(s.vals) - 1
-	}
-	return s.vals[rank]
+	return s.vals[NearestRank(len(s.vals), p)]
+}
+
+// sortFloats sorts ascending with NaNs deterministically first. The
+// comparator is explicit rather than sort.Float64s because the latter's
+// NaN ordering was unspecified before Go 1.22; a NaN slipping into a
+// series (e.g. a 0/0 rate) must not make percentile output depend on the
+// toolchain or the incoming sample order.
+func sortFloats(vals []float64) {
+	sort.Slice(vals, func(i, j int) bool {
+		a, b := vals[i], vals[j]
+		if math.IsNaN(a) {
+			return !math.IsNaN(b)
+		}
+		return a < b
+	})
 }
 
 // DurationPercentile is Percentile for duration series.

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"falcon/internal/falcon/pdl"
+	"falcon/internal/falcon/tl"
+	"falcon/internal/falcon/wire"
+	"falcon/internal/netsim"
+	"falcon/internal/sim"
+)
+
+// Record is one flight-recorder entry: a fixed-width, pointer-free
+// encoding of a protocol event so the ring can be overwritten forever
+// without allocating or retaining packets.
+type Record struct {
+	At   sim.Time
+	Tag  byte // see the Tag* constants
+	Type uint8
+	Conn uint32
+	PSN  uint32
+	RSN  uint64
+	Aux  uint64
+}
+
+// Flight-recorder tags, one per instrumented hook.
+const (
+	TagSend    = 'S' // PDL data (re)transmission; Aux=1 for retransmits
+	TagReceive = 'R' // PDL packet fully processed
+	TagServed  = 'V' // TL request reached terminal processing
+	TagDone    = 'C' // TL completion released; Aux=1 on error
+	TagFrame   = 'F' // wire frame delivered at NIC ingress; Aux=frame size
+)
+
+// Recorder is a fixed-size ring buffer of recent Records. It implements
+// pdl.Probe and tl.Probe and provides a netsim tap, so one recorder can
+// shadow the trace hasher on every hook. Recording overwrites
+// preallocated slots — zero allocations, no behaviour change — and the
+// ring is dumped only when something goes wrong: testkit wires it so any
+// invariant violation or sweep panic prints the last N records
+// (sweep.go), turning "assertion failed at t=1.2ms" into a readable
+// event history.
+type Recorder struct {
+	clock sim.Clock
+	ring  []Record
+	total uint64 // records ever written; ring[total % len] is next slot
+}
+
+// DefaultRecorderDepth is the ring size testkit uses.
+const DefaultRecorderDepth = 64
+
+// NewRecorder creates a recorder keeping the most recent depth records.
+func NewRecorder(clock sim.Clock, depth int) *Recorder {
+	if depth <= 0 {
+		depth = DefaultRecorderDepth
+	}
+	return &Recorder{clock: clock, ring: make([]Record, depth)}
+}
+
+// Record appends one entry, overwriting the oldest when full.
+func (r *Recorder) Record(tag byte, typ uint8, conn, psn uint32, rsn, aux uint64) {
+	r.ring[r.total%uint64(len(r.ring))] = Record{
+		At:   r.clock.Now(),
+		Tag:  tag,
+		Type: typ,
+		Conn: conn,
+		PSN:  psn,
+		RSN:  rsn,
+		Aux:  aux,
+	}
+	r.total++
+}
+
+// Total returns how many records have ever been written (≥ len(ring) once
+// the ring has wrapped).
+func (r *Recorder) Total() uint64 { return r.total }
+
+// OnSend implements pdl.Probe.
+func (r *Recorder) OnSend(c *pdl.Conn, p *wire.Packet, retransmit bool) {
+	var aux uint64
+	if retransmit {
+		aux = 1
+	}
+	r.Record(TagSend, uint8(p.Type), c.ID(), p.PSN, p.RSN, aux)
+}
+
+// OnReceive implements pdl.Probe.
+func (r *Recorder) OnReceive(c *pdl.Conn, p *wire.Packet) {
+	r.Record(TagReceive, uint8(p.Type), c.ID(), p.PSN, p.RSN, 0)
+}
+
+// OnRequestServed implements tl.Probe.
+func (r *Recorder) OnRequestServed(c *tl.Conn, rsn uint64) {
+	r.Record(TagServed, 0, c.ID(), 0, rsn, 0)
+}
+
+// OnCompletion implements tl.Probe.
+func (r *Recorder) OnCompletion(c *tl.Conn, rsn uint64, err error) {
+	var aux uint64
+	if err != nil {
+		aux = 1
+	}
+	r.Record(TagDone, 0, c.ID(), 0, rsn, aux)
+}
+
+// TapFrame is a netsim host tap (install with Host.SetTap).
+func (r *Recorder) TapFrame(f *netsim.Frame) {
+	if p, ok := f.Payload.(*wire.Packet); ok {
+		r.Record(TagFrame, uint8(p.Type), p.ConnID, p.PSN, p.RSN, uint64(f.Size))
+		return
+	}
+	r.Record(TagFrame, 0, 0, 0, 0, uint64(f.Size))
+}
+
+// Snapshot returns the retained records oldest-first. It allocates and is
+// meant for dumps and tests, not hot paths.
+func (r *Recorder) Snapshot() []Record {
+	n := r.total
+	depth := uint64(len(r.ring))
+	if n > depth {
+		n = depth
+	}
+	out := make([]Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.ring[(r.total-n+i)%depth])
+	}
+	return out
+}
+
+// DumpString renders the retained records oldest-first, one per line, for
+// inclusion in failure messages.
+func (r *Recorder) DumpString() string {
+	recs := r.Snapshot()
+	if len(recs) == 0 {
+		return "flight recorder: empty\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder (last %d of %d records):\n", len(recs), r.total)
+	for _, rec := range recs {
+		fmt.Fprintf(&b, "  t=%-14v %c conn=%-3d type=%-2d psn=%-8d rsn=%-6d aux=%d\n",
+			rec.At, rec.Tag, rec.Conn, rec.Type, rec.PSN, rec.RSN, rec.Aux)
+	}
+	return b.String()
+}

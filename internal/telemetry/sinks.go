@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"falcon/internal/falcon/fae"
+	"falcon/internal/falcon/pdl"
+	"falcon/internal/falcon/tl"
+	"falcon/internal/falcon/wire"
+	"falcon/internal/netsim"
+	"falcon/internal/nic"
+)
+
+// This file adapts each layer's stats and accessors to the registry and
+// sampler. All collectors are lazy — they read layer state at snapshot or
+// tick time, so attaching them costs nothing on packet paths. Metric
+// names follow "<prefix>/<layer>/<metric>"; DESIGN.md §9 lists the full
+// catalogue.
+
+// CollectPDL registers a snapshot collector for one PDL connection:
+// counters from pdl.Stats (retransmit causes, ACK coalescing, NACK codes)
+// plus window-occupancy gauges.
+func CollectPDL(r *Registry, prefix string, c *pdl.Conn) {
+	r.OnSnapshot(func(emit func(string, float64)) {
+		s := c.Stats
+		emit(prefix+"/pdl/data_sent", float64(s.DataSent))
+		emit(prefix+"/pdl/data_retransmits", float64(s.DataRetransmits))
+		emit(prefix+"/pdl/retx_rack", float64(s.RetxRACK))
+		emit(prefix+"/pdl/retx_ooo", float64(s.RetxOOO))
+		emit(prefix+"/pdl/retx_tlp", float64(s.RetxTLP))
+		emit(prefix+"/pdl/retx_rto", float64(s.RetxRTO))
+		emit(prefix+"/pdl/retx_nack_backoff", float64(s.RetxNackBackoff))
+		emit(prefix+"/pdl/tlp_probes", float64(s.TLPProbes))
+		emit(prefix+"/pdl/rtos", float64(s.RTOs))
+		emit(prefix+"/pdl/acks_sent", float64(s.AcksSent))
+		emit(prefix+"/pdl/acks_immediate", float64(s.AcksImmediate))
+		emit(prefix+"/pdl/acks_coalesced", float64(s.AcksCoalesced))
+		emit(prefix+"/pdl/acks_received", float64(s.AcksReceived))
+		emit(prefix+"/pdl/duplicates", float64(s.Duplicates))
+		emit(prefix+"/pdl/nacks_sent", float64(s.NacksSent))
+		emit(prefix+"/pdl/nacks_received", float64(s.NacksReceived))
+		emit(prefix+"/pdl/nacks_rnr", float64(s.NacksRnr))
+		emit(prefix+"/pdl/nacks_resource", float64(s.NacksResource))
+		emit(prefix+"/pdl/nacks_cie", float64(s.NacksCie))
+		emit(prefix+"/pdl/delivered_to_tl", float64(s.DeliveredToTL))
+		emit(prefix+"/pdl/rx_window_drops", float64(s.RxWindowDrops))
+		emit(prefix+"/pdl/tx_unacked_req", float64(c.TxUnacked(wire.SpaceRequest)))
+		emit(prefix+"/pdl/tx_unacked_resp", float64(c.TxUnacked(wire.SpaceResponse)))
+		emit(prefix+"/pdl/rx_window_req", float64(rxOccupancy(c, wire.SpaceRequest)))
+		emit(prefix+"/pdl/rx_window_resp", float64(rxOccupancy(c, wire.SpaceResponse)))
+		emit(prefix+"/pdl/queued_packets", float64(c.QueuedPackets()))
+		emit(prefix+"/pdl/outstanding", float64(c.Outstanding()))
+		emit(prefix+"/pdl/parked", float64(c.Parked()))
+		emit(prefix+"/pdl/fcwnd", c.Fcwnd())
+		emit(prefix+"/pdl/ncwnd", c.Ncwnd())
+		emit(prefix+"/pdl/srtt_ns", float64(c.SRTT()))
+	})
+}
+
+// rxOccupancy counts out-of-order packets held in the RX bitmap of one
+// space.
+func rxOccupancy(c *pdl.Conn, space wire.Space) int {
+	_, bm := c.RxState(space)
+	return bm.OnesCount()
+}
+
+// TrackPDL registers the per-connection congestion time series on a
+// sampler: fcwnd, ncwnd, in-flight occupancy and the TL send queue — the
+// cwnd-vs-time traces behind the paper's §6 congestion figures.
+func TrackPDL(sp *Sampler, prefix string, c *pdl.Conn) {
+	sp.Track(prefix+"/fcwnd", c.Fcwnd)
+	sp.Track(prefix+"/ncwnd", c.Ncwnd)
+	sp.Track(prefix+"/outstanding", func() float64 { return float64(c.Outstanding()) })
+	sp.Track(prefix+"/queued_packets", func() float64 { return float64(c.QueuedPackets()) })
+	sp.Track(prefix+"/srtt_ns", func() float64 { return float64(c.SRTT()) })
+	sp.Track(prefix+"/retransmits", func() float64 { return float64(c.Stats.DataRetransmits) })
+}
+
+// CollectTL registers a snapshot collector for one TL connection.
+func CollectTL(r *Registry, prefix string, c *tl.Conn) {
+	r.OnSnapshot(func(emit func(string, float64)) {
+		s := c.Stats
+		emit(prefix+"/tl/pushes", float64(s.Pushes))
+		emit(prefix+"/tl/pulls", float64(s.Pulls))
+		emit(prefix+"/tl/completed_ok", float64(s.CompletedOK))
+		emit(prefix+"/tl/completed_error", float64(s.CompletedError))
+		emit(prefix+"/tl/rnr_retries", float64(s.RNRRetries))
+		emit(prefix+"/tl/backpressured", float64(s.Backpressured))
+		emit(prefix+"/tl/requests_served", float64(s.RequestsServed))
+		emit(prefix+"/tl/outstanding_txns", float64(c.OutstandingTxns()))
+		emit(prefix+"/tl/pending_responses", float64(c.PendingResponses()))
+		emit(prefix+"/tl/reorder_backlog", float64(c.ReorderBacklog()))
+		emit(prefix+"/tl/alpha", c.Alpha())
+	})
+}
+
+// CollectNIC registers a snapshot collector for one NIC pipeline model.
+func CollectNIC(r *Registry, prefix string, n *nic.NIC) {
+	r.OnSnapshot(func(emit func(string, float64)) {
+		s := n.Stats
+		emit(prefix+"/nic/packets_processed", float64(s.PacketsProcessed))
+		emit(prefix+"/nic/cache_hits", float64(s.CacheHits))
+		emit(prefix+"/nic/l2_hits", float64(s.L2Hits))
+		emit(prefix+"/nic/cache_misses", float64(s.CacheMisses))
+		emit(prefix+"/nic/host_bytes", float64(s.HostBytes))
+		emit(prefix+"/nic/spilled_bytes", float64(s.SpilledBytes))
+		emit(prefix+"/nic/max_rx_occupancy", s.MaxRxOccupancy)
+		emit(prefix+"/nic/rx_occupancy", n.RxOccupancy())
+		emit(prefix+"/nic/global_wait_ns", float64(s.GlobalWait))
+		emit(prefix+"/nic/conn_wait_ns", float64(s.ConnWait))
+	})
+}
+
+// CollectPort registers a snapshot collector for one directed netsim
+// port: traffic, drops, ECN marks and queue extremes.
+func CollectPort(r *Registry, prefix string, p *netsim.Port) {
+	r.OnSnapshot(func(emit func(string, float64)) {
+		s := p.Stats
+		emit(prefix+"/port/tx_frames", float64(s.TxFrames))
+		emit(prefix+"/port/tx_bytes", float64(s.TxBytes))
+		emit(prefix+"/port/queue_drops", float64(s.QueueDrops))
+		emit(prefix+"/port/random_drops", float64(s.RandomDrops))
+		emit(prefix+"/port/reordered", float64(s.Reordered))
+		emit(prefix+"/port/ecn_marks", float64(s.ECNMarks))
+		emit(prefix+"/port/max_queue_bytes", float64(s.MaxQueueBytes))
+		emit(prefix+"/port/queued_bytes", float64(p.QueuedBytes()))
+	})
+}
+
+// TrackPort registers the queue-depth time series of one port — the
+// queue-occupancy-vs-time traces behind the incast figures.
+func TrackPort(sp *Sampler, prefix string, p *netsim.Port) {
+	sp.Track(prefix+"/queued_bytes", func() float64 { return float64(p.QueuedBytes()) })
+	sp.Track(prefix+"/queue_delay_ns", func() float64 { return float64(p.QueueDelay()) })
+	sp.Track(prefix+"/tx_bytes", func() float64 { return float64(p.Stats.TxBytes) })
+	sp.Track(prefix+"/queue_drops", func() float64 { return float64(p.Stats.QueueDrops) })
+}
+
+// CollectFAE registers a snapshot collector for one adaptive engine.
+func CollectFAE(r *Registry, prefix string, e *fae.Engine) {
+	r.OnSnapshot(func(emit func(string, float64)) {
+		emit(prefix+"/fae/events_processed", float64(e.EventsProcessed))
+		emit(prefix+"/fae/repaths", float64(e.Repaths))
+	})
+}
+
+// ObserveFAE attaches an engine observer feeding delay histograms and CC
+// counters: fabric-delay and RTT distributions (ns), packets acked under
+// CC, ECN echoes and repath decisions. The observer writes only into
+// preallocated registry instruments, so it adds no allocations to event
+// processing.
+func ObserveFAE(r *Registry, prefix string, e *fae.Engine) {
+	fabric := r.Histogram(prefix + "/fae/fabric_delay_ns")
+	rtt := r.Histogram(prefix + "/fae/rtt_ns")
+	acked := r.Counter(prefix + "/fae/acked_packets")
+	ece := r.Counter(prefix + "/fae/ece_echoes")
+	repaths := r.Counter(prefix + "/fae/repath_responses")
+	e.SetObserver(func(ev fae.Event, resp fae.Response) {
+		if ev.Kind == fae.EventAck {
+			fabric.RecordDuration(ev.FabricDelay)
+			rtt.RecordDuration(ev.RTT)
+			acked.Add(uint64(ev.AckedPackets))
+			if ev.ECE {
+				ece.Inc()
+			}
+		}
+		if resp.Repathed {
+			repaths.Inc()
+		}
+	})
+}

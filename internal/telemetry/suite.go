@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// Suite bundles the telemetry of one instrumented experiment run: a
+// metric registry plus any number of named time-series samplers. The
+// experiment registers instruments and starts samplers; the harness
+// (cmd/falconbench) snapshots the registry into the -metrics report and
+// writes each sampler to a CSV under the -series directory.
+type Suite struct {
+	reg      *Registry
+	names    []string
+	samplers []*Sampler
+}
+
+// NewSuite returns an empty suite.
+func NewSuite() *Suite { return &Suite{reg: NewRegistry()} }
+
+// Registry returns the suite's metric registry.
+func (s *Suite) Registry() *Registry { return s.reg }
+
+// Sampler creates, registers and returns a named sampler ticking every
+// interval on the given simulator. Names must be unique within the suite;
+// they become CSV file names (sanitized).
+func (s *Suite) Sampler(name string, sm *sim.Simulator, interval time.Duration) *Sampler {
+	sp := NewSampler(sm, interval)
+	s.names = append(s.names, name)
+	s.samplers = append(s.samplers, sp)
+	return sp
+}
+
+// Snapshot captures the registry at virtual time at.
+func (s *Suite) Snapshot(at sim.Time) Snapshot { return s.reg.Snapshot(at) }
+
+// SamplerCount returns the number of registered samplers.
+func (s *Suite) SamplerCount() int { return len(s.samplers) }
+
+// WriteSeries writes every sampler to <dir>/<prefix>_<name>.csv, creating
+// dir if needed, and returns the paths written (sorted by registration
+// order, which is deterministic for a deterministic experiment).
+func (s *Suite) WriteSeries(dir, prefix string) ([]string, error) {
+	if len(s.samplers) == 0 {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for i, sp := range s.samplers {
+		name := sanitizeFileName(prefix + "_" + s.names[i] + ".csv")
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return paths, err
+		}
+		werr := sp.WriteCSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			return paths, fmt.Errorf("writing %s: %w", path, werr)
+		}
+		if cerr != nil {
+			return paths, cerr
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// sanitizeFileName keeps series file names portable: path separators and
+// spaces become underscores.
+func sanitizeFileName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ' ', ':':
+			return '_'
+		}
+		return r
+	}, name)
+}

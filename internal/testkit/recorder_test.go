@@ -1,0 +1,78 @@
+package testkit
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// The flight recorder must be invisible to the determinism contract: it
+// schedules no events and draws no randomness, so a run with it attached
+// (the default) hashes identically to one without it.
+func TestRecorderHashInvariance(t *testing.T) {
+	scenarios := []Scenario{
+		{Name: "rec-clean", Seed: 42, Workload: WorkloadMixed, Ops: 100},
+		{Name: "rec-faulty", Seed: 43, Workload: WorkloadPush, Ops: 100, DropPct: 5, RNRPct: 5},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.Name, func(t *testing.T) {
+			withRec := Run(sc)
+			sc.DisableRecorder = true
+			without := Run(sc)
+			if withRec.TraceHash != without.TraceHash || withRec.Records != without.Records {
+				t.Fatalf("flight recorder changed the trace: with=fnv1a:%016x/%d without=fnv1a:%016x/%d",
+					withRec.TraceHash, withRec.Records, without.TraceHash, without.Records)
+			}
+		})
+	}
+}
+
+// An invariant violation must print the recent event history, not only
+// the failing assertion (ISSUE 3 satellite: flight recorder in sweep.go).
+func TestViolationDumpsFlightRecorder(t *testing.T) {
+	var msgs []string
+	sc := Scenario{
+		Name:              "rec-dump",
+		Seed:              42,
+		Workload:          WorkloadPush,
+		Ops:               50,
+		StrictOutstanding: 2, // below the real window: must trip
+		FailFunc: func(format string, args ...any) {
+			msgs = append(msgs, fmt.Sprintf(format, args...))
+		},
+	}
+	Run(sc)
+	if len(msgs) == 0 {
+		t.Fatal("seeded violation not detected")
+	}
+	if !strings.Contains(msgs[0], "flight recorder") {
+		t.Fatalf("violation message lacks the flight-recorder dump:\n%s", msgs[0])
+	}
+	// The dump must contain actual records (sends at minimum).
+	if !strings.Contains(msgs[0], "psn=") {
+		t.Fatalf("flight-recorder dump carries no records:\n%s", msgs[0])
+	}
+}
+
+// Without a FailFunc the wrapped failure path must still panic — a
+// violated invariant can never be silently ignored — and the panic text
+// must carry the recorder dump.
+func TestViolationPanicCarriesDump(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("violation did not panic")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "invariant violation") || !strings.Contains(msg, "flight recorder") {
+			t.Fatalf("panic lacks violation context or recorder dump: %s", msg)
+		}
+	}()
+	Run(Scenario{
+		Name:              "rec-panic",
+		Seed:              42,
+		Workload:          WorkloadPush,
+		Ops:               50,
+		StrictOutstanding: 2,
+	})
+}

@@ -5,10 +5,12 @@ import (
 	"time"
 
 	"falcon/internal/core"
+	"falcon/internal/falcon/pdl"
 	"falcon/internal/falcon/tl"
 	"falcon/internal/falcon/wire"
 	"falcon/internal/netsim"
 	"falcon/internal/sim"
+	"falcon/internal/telemetry"
 )
 
 // Workload selects the transaction mix a sweep scenario drives.
@@ -84,6 +86,13 @@ type Scenario struct {
 	// violations can be recorded instead.
 	StrictOutstanding int
 	FailFunc          func(format string, args ...any)
+
+	// DisableRecorder detaches the telemetry flight recorder that Run
+	// normally shadows on every probe. It exists for the determinism
+	// suite, which asserts that attaching the recorder leaves the trace
+	// hash byte-identical (the recorder schedules no events and draws no
+	// randomness).
+	DisableRecorder bool
 }
 
 // withDefaults fills zero fields.
@@ -204,13 +213,40 @@ func Run(sc Scenario) Result {
 	checker.StrictOutstanding = sc.StrictOutstanding
 	checker.FailFunc = sc.FailFunc
 	s.SetObserver(hasher)
-	for _, h := range topo.Hosts {
-		h.SetTap(hasher.TapFrame)
+
+	// Flight recorder: a passive ring of the most recent probe records.
+	// It schedules no events and draws no randomness, so attaching it
+	// leaves the trace hash unchanged; its payoff is at failure time,
+	// when any invariant violation dumps the event history leading up to
+	// it instead of only the failing assertion.
+	tap := hasher.TapFrame
+	var pdlExtra pdl.Probe
+	var tlExtra tl.Probe
+	if !sc.DisableRecorder {
+		rec := telemetry.NewRecorder(s, telemetry.DefaultRecorderDepth)
+		pdlExtra, tlExtra = rec, rec
+		hashTap := hasher.TapFrame
+		tap = func(f *netsim.Frame) {
+			hashTap(f)
+			rec.TapFrame(f)
+		}
+		inner := sc.FailFunc
+		checker.FailFunc = func(format string, args ...any) {
+			msg := fmt.Sprintf(format, args...) + "\n" + rec.DumpString()
+			if inner != nil {
+				inner("%s", msg)
+				return
+			}
+			panic("testkit: invariant violation: " + msg)
+		}
 	}
-	epA.PDL().SetProbe(PDLProbes(checker, hasher))
-	epB.PDL().SetProbe(PDLProbes(checker, hasher))
-	epA.TL().SetProbe(TLProbes(checker, hasher))
-	epB.TL().SetProbe(TLProbes(checker, hasher))
+	for _, h := range topo.Hosts {
+		h.SetTap(tap)
+	}
+	epA.PDL().SetProbe(PDLProbes(checker, hasher, pdlExtra))
+	epB.PDL().SetProbe(PDLProbes(checker, hasher, pdlExtra))
+	epA.TL().SetProbe(TLProbes(checker, hasher, tlExtra))
+	epB.TL().SetProbe(TLProbes(checker, hasher, tlExtra))
 
 	epB.SetTarget(&sweepTarget{s: s, rnrProb: sc.RNRPct / 100, rnrDelay: sc.RNRDelay})
 

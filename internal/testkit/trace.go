@@ -134,39 +134,11 @@ func (t *TraceHasher) TapFrame(f *netsim.Frame) {
 		uint64(f.Size), uint64(f.SentAt), uint64(f.Hops))
 }
 
-// pdlProbes fans a pdl probe out to several receivers.
-type pdlProbes []pdl.Probe
-
-func (ps pdlProbes) OnSend(c *pdl.Conn, p *wire.Packet, retransmit bool) {
-	for _, pr := range ps {
-		pr.OnSend(c, p, retransmit)
-	}
-}
-
-func (ps pdlProbes) OnReceive(c *pdl.Conn, p *wire.Packet) {
-	for _, pr := range ps {
-		pr.OnReceive(c, p)
-	}
-}
-
 // PDLProbes combines several pdl.Probes into one (pdl.Conn.SetProbe takes
-// a single probe).
-func PDLProbes(ps ...pdl.Probe) pdl.Probe { return pdlProbes(ps) }
+// a single probe). It delegates to the layer-owned pdl.MultiProbe so
+// testkit and telemetry share one fan-out implementation; the alias is
+// kept because sweep wiring reads naturally with it.
+func PDLProbes(ps ...pdl.Probe) pdl.Probe { return pdl.MultiProbe(ps...) }
 
-// tlProbes fans a tl probe out to several receivers.
-type tlProbes []tl.Probe
-
-func (ps tlProbes) OnRequestServed(c *tl.Conn, rsn uint64) {
-	for _, pr := range ps {
-		pr.OnRequestServed(c, rsn)
-	}
-}
-
-func (ps tlProbes) OnCompletion(c *tl.Conn, rsn uint64, err error) {
-	for _, pr := range ps {
-		pr.OnCompletion(c, rsn, err)
-	}
-}
-
-// TLProbes combines several tl.Probes into one.
-func TLProbes(ps ...tl.Probe) tl.Probe { return tlProbes(ps) }
+// TLProbes combines several tl.Probes into one (see PDLProbes).
+func TLProbes(ps ...tl.Probe) tl.Probe { return tl.MultiProbe(ps...) }
