@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test short race sweep fuzz vet bench metrics ci
+.PHONY: all build test short race sweep fuzz vet bench metrics perfcheck ci
 
-all: build vet test
+all: build vet test perfcheck
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,17 @@ bench:
 metrics:
 	$(GO) run ./cmd/falconbench -quick -run 'fig10|fig13|fig15' \
 		-metrics BENCH_pr3_metrics.json -series BENCH_pr3_series
+
+# Fast-path regression gate: the zero-alloc assertions on the fabric hot
+# path (port send, switch forward, host deliver, AtAction dispatch) plus
+# the two trace-hash equivalence suites — wheel-vs-heap schedulers and
+# pooled-vs-legacy allocation — over the short sweep matrix. Fails if the
+# per-frame path regains an allocation or any fast-path rebuild becomes
+# visible to the protocol. See DESIGN.md §10.
+perfcheck:
+	$(GO) test -run 'ZeroAlloc' -v ./internal/netsim/ ./internal/sim/
+	$(GO) test -short -run 'TestSweepSchedulerEquivalence|TestSweepPoolEquivalence' \
+		./internal/testkit/
 
 # Regenerate every table at full measurement windows (several minutes).
 bench-full:

@@ -270,11 +270,10 @@ func newEndpoint(n *Node, id uint32, peer netsim.NodeID, cfg ConnConfig) *Endpoi
 			// in flight.
 			cp := *p
 			n.nic.Process(id, func() {
-				frame := &netsim.Frame{
-					Dst:      peer,
-					FlowHash: flowHash(id, cp.FlowLabel),
-					Size:     cp.WireSize(),
-				}
+				frame := n.host.NewFrame()
+				frame.Dst = peer
+				frame.FlowHash = flowHash(id, cp.FlowLabel)
+				frame.Size = cp.WireSize()
 				if ep.txSA != nil {
 					sealed, err := ep.txSA.Seal(cp.Marshal(nil), pspCryptOffset, 0)
 					if err != nil {

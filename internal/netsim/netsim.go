@@ -7,6 +7,15 @@
 // netsim is transport-agnostic: it moves Frames, which carry an opaque
 // Payload. Falcon, RoCE and the software-transport baselines all ride the
 // same fabric, so fabric behaviour can never silently favor one transport.
+//
+// The per-frame path is built to be steady-state allocation-free and
+// integer-only (DESIGN.md §10): frames come from a Network-owned pool,
+// port work is scheduled as pooled typed events rather than capture
+// closures, switches route through a dense next-hop table indexed by
+// NodeID, and serialization time is one integer multiply per frame
+// (precomputed picoseconds per byte). With 4–6 port hops per packet the
+// fabric dominates simulator event count, so this path bounds how far
+// experiments scale.
 package netsim
 
 import (
@@ -19,7 +28,10 @@ import (
 // NodeID identifies a host in the network.
 type NodeID int
 
-// Frame is one packet on the wire.
+// Frame is one packet on the wire. Frames on the hot path are pooled: see
+// FramePool for the ownership rules (senders acquire via Host.NewFrame,
+// the fabric releases on drop or after delivery; handlers must not retain
+// the *Frame past return).
 type Frame struct {
 	Src, Dst NodeID
 	// FlowHash is the ECMP hash input. Transports derive it from the
@@ -38,6 +50,10 @@ type Frame struct {
 	// CE is the ECN congestion-experienced mark, set by any port whose
 	// queue exceeds its marking threshold.
 	CE bool
+
+	// pooled marks frames owned by a FramePool; hand-built frames stay
+	// with the garbage collector.
+	pooled bool
 }
 
 // Handler receives frames delivered to a host.
@@ -58,7 +74,12 @@ type device interface {
 
 // LinkConfig describes one direction of a link.
 type LinkConfig struct {
-	// GbpsRate is the link speed in gigabits per second.
+	// GbpsRate is the link speed in gigabits per second. Rates are
+	// quantized to a whole number of picoseconds per byte (8000/GbpsRate,
+	// rounded): every rate of the form 8000/k Gb/s — including 1, 10,
+	// 100 and 200 Gb/s — is represented exactly, and the maximum
+	// representable rate is 8 Tb/s (1 ps/byte). See DESIGN.md §10 for the
+	// integer time model.
 	GbpsRate float64
 	// PropDelay is the one-way propagation delay.
 	PropDelay time.Duration
@@ -73,10 +94,14 @@ const DefaultQueueBytes = 1 << 20
 
 // PortStats counts traffic through one directed port.
 type PortStats struct {
-	TxFrames      uint64
-	TxBytes       uint64
-	QueueDrops    uint64
-	RandomDrops   uint64
+	TxFrames    uint64
+	TxBytes     uint64
+	QueueDrops  uint64
+	RandomDrops uint64
+	// DownDrops counts frames dropped because the port was administratively
+	// down (SetDown), kept separate from RandomDrops so outage experiments
+	// do not inflate the random-loss line.
+	DownDrops     uint64
 	Reordered     uint64
 	ECNMarks      uint64
 	MaxQueueBytes int
@@ -85,12 +110,15 @@ type PortStats struct {
 // Port is one directed egress: a serializing output queue feeding a
 // propagation-delayed wire toward dst.
 type Port struct {
-	sim   *sim.Simulator
-	name  string
-	rate  float64 // bytes per nanosecond
-	prop  time.Duration
-	limit int
-	dst   device
+	net  *Network
+	sim  *sim.Simulator
+	name string
+	// psPerByte is the precomputed serialization cost in integer
+	// picoseconds per byte; the hot path multiplies instead of dividing.
+	psPerByte int64
+	prop      time.Duration
+	limit     int
+	dst       device
 
 	queuedBytes int
 	busyUntil   sim.Time
@@ -108,7 +136,21 @@ type Port struct {
 	Stats PortStats
 }
 
-func newPort(s *sim.Simulator, name string, cfg LinkConfig, dst device) *Port {
+// psPerByte converts a Gbit/s link rate to the integer picoseconds one
+// byte occupies on the wire: 8000/gbps, rounded to the nearest whole
+// picosecond. The quantization is exact for every rate of the form 8000/k
+// (1 Gb/s = 8000 ps/B, 100 Gb/s = 80 ps/B, 200 Gb/s = 40 ps/B, ...); other
+// rates are represented to the nearest picosecond per byte. Rates above
+// 8 Tb/s would quantize to zero wire time and are rejected.
+func psPerByte(gbps float64) int64 {
+	ps := int64(8000/gbps + 0.5)
+	if ps < 1 {
+		panic("netsim: link rate above 8 Tb/s exceeds the integer time model (minimum 1 ps/byte)")
+	}
+	return ps
+}
+
+func newPort(n *Network, name string, cfg LinkConfig, dst device) *Port {
 	if cfg.GbpsRate <= 0 {
 		panic("netsim: link rate must be positive")
 	}
@@ -117,12 +159,13 @@ func newPort(s *sim.Simulator, name string, cfg LinkConfig, dst device) *Port {
 		limit = DefaultQueueBytes
 	}
 	return &Port{
-		sim:   s,
-		name:  name,
-		rate:  cfg.GbpsRate / 8, // Gbit/s -> bytes/ns
-		prop:  cfg.PropDelay,
-		limit: limit,
-		dst:   dst,
+		net:       n,
+		sim:       n.sim,
+		name:      name,
+		psPerByte: psPerByte(cfg.GbpsRate),
+		prop:      cfg.PropDelay,
+		limit:     limit,
+		dst:       dst,
 	}
 }
 
@@ -138,7 +181,8 @@ func (p *Port) SetReorder(prob float64, extraDelay time.Duration) {
 }
 
 // SetDown marks the port failed; all frames are dropped (network outage for
-// PRR experiments).
+// PRR experiments). Drops while down are counted in Stats.DownDrops, not
+// Stats.RandomDrops.
 func (p *Port) SetDown(down bool) { p.down = down }
 
 // SetECNThreshold enables ECN marking: frames that arrive to a queue
@@ -146,11 +190,20 @@ func (p *Port) SetDown(down bool) { p.down = down }
 func (p *Port) SetECNThreshold(bytes int) { p.ecnThreshold = bytes }
 
 // SetRateGbps changes the port speed at runtime (e.g. link downgrade).
+//
+// Semantics: a frame's departure time is committed at enqueue, so bytes
+// already accepted by the serializer (everything up to busyUntil) keep the
+// departure times computed under the old rate — a rate change never
+// re-times in-flight serialization, and the drain events already scheduled
+// for those bytes stay valid. The new rate takes effect, consistently with
+// the busyUntil commitment point, for the next frame enqueued: it begins
+// serializing at max(now, busyUntil) at the new speed. Like construction,
+// the rate is quantized to whole picoseconds per byte.
 func (p *Port) SetRateGbps(gbps float64) {
 	if gbps <= 0 {
 		panic("netsim: link rate must be positive")
 	}
-	p.rate = gbps / 8
+	p.psPerByte = psPerByte(gbps)
 }
 
 // QueueDelay returns the current queuing delay a newly arriving frame would
@@ -166,18 +219,25 @@ func (p *Port) QueueDelay() time.Duration {
 // QueuedBytes returns the bytes currently awaiting serialization.
 func (p *Port) QueuedBytes() int { return p.queuedBytes }
 
-// send enqueues f for transmission.
+// send enqueues f for transmission. This is the fabric's hottest function:
+// after the impairment checks it performs one integer multiply for the
+// serialization time and schedules two pooled typed events (the
+// departure-time drain tick and the propagation-delayed delivery) — no
+// closures, no allocation, no floating point.
 func (p *Port) send(f *Frame) {
 	if p.down {
-		p.Stats.RandomDrops++
+		p.Stats.DownDrops++
+		p.net.frames.Release(f)
 		return
 	}
 	if p.dropProb > 0 && p.sim.Rand().Float64() < p.dropProb {
 		p.Stats.RandomDrops++
+		p.net.frames.Release(f)
 		return
 	}
 	if p.queuedBytes+f.Size > p.limit {
 		p.Stats.QueueDrops++
+		p.net.frames.Release(f)
 		return
 	}
 	p.queuedBytes += f.Size
@@ -193,7 +253,7 @@ func (p *Port) send(f *Frame) {
 	if start < now {
 		start = now
 	}
-	serialization := time.Duration(float64(f.Size) / p.rate)
+	serialization := time.Duration(int64(f.Size) * p.psPerByte / 1000)
 	departure := start.Add(serialization)
 	p.busyUntil = departure
 	p.Stats.TxFrames++
@@ -204,8 +264,16 @@ func (p *Port) send(f *Frame) {
 		arrival = arrival.Add(p.reorderDelay)
 		p.Stats.Reordered++
 	}
-	p.sim.At(departure, func() { p.queuedBytes -= f.Size })
-	p.sim.At(arrival, func() { p.dst.receive(f) })
+	drain := p.net.getEvent()
+	drain.kind = evDrain
+	drain.port = p
+	drain.size = f.Size
+	p.sim.AtAction(departure, drain)
+	del := p.net.getEvent()
+	del.kind = evDeliver
+	del.dst = p.dst
+	del.frame = f
+	p.sim.AtAction(arrival, del)
 }
 
 // Host is an endpoint with a single access link.
@@ -226,14 +294,23 @@ func (h *Host) SetHandler(hd Handler) { h.handler = hd }
 // SetTap installs a wire-level observer invoked for every frame delivered
 // to this host, before the handler runs (nil detaches). Verification
 // harnesses use it to fingerprint fabric arrivals; it must not mutate the
-// frame.
+// frame or retain it past return.
 func (h *Host) SetTap(fn func(f *Frame)) { h.tap = fn }
 
 // Uplink returns the host's egress port (host -> first switch), e.g. to
 // impair or re-rate it.
 func (h *Host) Uplink() *Port { return h.uplink }
 
+// NewFrame returns a zeroed frame from the network's pool, owned by the
+// caller until handed to Send. Transports on the steady-state path must
+// use this (or Network.Frames) instead of allocating Frames so the fabric
+// stays allocation-free; hand-built frames still work but are not
+// recycled.
+func (h *Host) NewFrame() *Frame { return h.net.frames.Acquire() }
+
 // Send transmits a frame from this host. f.Src is set to the host's ID.
+// Ownership of a pooled frame passes to the fabric: the caller must not
+// touch f after Send returns.
 func (h *Host) Send(f *Frame) {
 	f.Src = h.ID
 	f.SentAt = h.net.sim.Now()
@@ -252,31 +329,46 @@ func (h *Host) receive(f *Frame) {
 	if h.handler != nil {
 		h.handler.HandleFrame(f)
 	}
+	h.net.frames.Release(f)
 }
 
 // Switch forwards frames by destination with ECMP across equal-cost
 // next-hop ports.
 type Switch struct {
-	id     int
-	net    *Network
-	salt   uint64
-	routes map[NodeID][]*Port
+	id   int
+	net  *Network
+	salt uint64
+	// routes is the dense next-hop table indexed by destination NodeID
+	// (host IDs are small dense integers, so a slice index replaces the
+	// former per-hop map lookup).
+	routes [][]*Port
 	// RxFrames counts frames entering the switch.
 	RxFrames uint64
 }
 
 // addRoute registers ports as next hops toward dst.
 func (sw *Switch) addRoute(dst NodeID, ports ...*Port) {
+	for int(dst) >= len(sw.routes) {
+		sw.routes = append(sw.routes, nil)
+	}
 	sw.routes[dst] = append(sw.routes[dst], ports...)
 }
 
 // RouteTo returns the ECMP port set toward dst (for impairment injection).
-func (sw *Switch) RouteTo(dst NodeID) []*Port { return sw.routes[dst] }
+func (sw *Switch) RouteTo(dst NodeID) []*Port {
+	if int(dst) < 0 || int(dst) >= len(sw.routes) {
+		return nil
+	}
+	return sw.routes[dst]
+}
 
 func (sw *Switch) receive(f *Frame) {
 	sw.RxFrames++
 	f.Hops++
-	ports := sw.routes[f.Dst]
+	var ports []*Port
+	if d := int(f.Dst); d >= 0 && d < len(sw.routes) {
+		ports = sw.routes[d]
+	}
 	switch len(ports) {
 	case 0:
 		panic(fmt.Sprintf("netsim: switch %d has no route to host %d", sw.id, f.Dst))
@@ -299,11 +391,16 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// Network owns hosts and switches attached to one simulator.
+// Network owns hosts and switches attached to one simulator, plus the
+// fast-path pools recycling frames and port events.
 type Network struct {
 	sim      *sim.Simulator
 	hosts    []*Host
 	switches []*Switch
+
+	frames FramePool
+	evFree []*portEvent
+	legacy bool
 }
 
 // New creates an empty network bound to s.
@@ -313,6 +410,21 @@ func New(s *sim.Simulator) *Network {
 
 // Sim returns the owning simulator.
 func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// Frames returns the network's frame pool, for senders not attached to a
+// Host and for tests asserting pool behaviour.
+func (n *Network) Frames() *FramePool { return &n.frames }
+
+// SetLegacyAlloc switches the fabric to the pre-pooling allocation
+// behaviour: Acquire returns fresh garbage-collected frames and every port
+// event is heap-allocated. Pure verification oracle, the pooling analogue
+// of sim.SchedulerHeap — a run must produce byte-identical trace hashes
+// with the flag on and off (asserted by the testkit pooled-equivalence
+// suite), proving recycling is invisible to the protocol.
+func (n *Network) SetLegacyAlloc(on bool) {
+	n.legacy = on
+	n.frames.legacy = on
+}
 
 // AddHost creates a host. Its handler may be set later.
 func (n *Network) AddHost() *Host {
@@ -330,10 +442,9 @@ func (n *Network) Hosts() []*Host { return n.hosts }
 // AddSwitch creates a switch.
 func (n *Network) AddSwitch() *Switch {
 	sw := &Switch{
-		id:     len(n.switches),
-		net:    n,
-		salt:   mix64(uint64(len(n.switches))*0x9e3779b97f4a7c15 + 1),
-		routes: make(map[NodeID][]*Port),
+		id:   len(n.switches),
+		net:  n,
+		salt: mix64(uint64(len(n.switches))*0x9e3779b97f4a7c15 + 1),
 	}
 	n.switches = append(n.switches, sw)
 	return sw
@@ -343,8 +454,8 @@ func (n *Network) AddSwitch() *Switch {
 // installs the direct route sw -> h. Returns the downlink port (sw -> h) so
 // callers can impair the "forward direction" of a path.
 func (n *Network) AttachHost(h *Host, sw *Switch, cfg LinkConfig) *Port {
-	up := newPort(n.sim, fmt.Sprintf("h%d->sw%d", h.ID, sw.id), cfg, sw)
-	down := newPort(n.sim, fmt.Sprintf("sw%d->h%d", sw.id, h.ID), cfg, h)
+	up := newPort(n, fmt.Sprintf("h%d->sw%d", h.ID, sw.id), cfg, sw)
+	down := newPort(n, fmt.Sprintf("sw%d->h%d", sw.id, h.ID), cfg, h)
 	h.uplink = up
 	sw.addRoute(h.ID, down)
 	return down
@@ -354,7 +465,7 @@ func (n *Network) AttachHost(h *Host, sw *Switch, cfg LinkConfig) *Port {
 // two directed ports (a->b, b->a). Routes must be installed by the caller
 // (or by a topology builder).
 func (n *Network) ConnectSwitches(a, b *Switch, cfg LinkConfig) (ab, ba *Port) {
-	ab = newPort(n.sim, fmt.Sprintf("sw%d->sw%d", a.id, b.id), cfg, b)
-	ba = newPort(n.sim, fmt.Sprintf("sw%d->sw%d", b.id, a.id), cfg, a)
+	ab = newPort(n, fmt.Sprintf("sw%d->sw%d", a.id, b.id), cfg, b)
+	ba = newPort(n, fmt.Sprintf("sw%d->sw%d", b.id, a.id), cfg, a)
 	return ab, ba
 }

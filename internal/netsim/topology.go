@@ -77,7 +77,7 @@ func Clos(s *sim.Simulator, racks, hostsPerRack, spines int, hostLink, fabricLin
 	// ECMP over its spine uplinks.
 	for _, tor := range t.ToRs {
 		for _, h := range t.Hosts {
-			if len(tor.routes[h.ID]) == 0 {
+			if len(tor.RouteTo(h.ID)) == 0 {
 				tor.addRoute(h.ID, torUplinks[tor]...)
 			}
 		}

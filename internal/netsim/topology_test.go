@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// closSizes lists every Clos parameterization the experiment and workload
+// drivers build: the §6.1.3 rack pair (experiments/multipath.go), the
+// messenger jobs for 1–16 nodes in one rack and 32 nodes across two
+// (workload/messenger.go), and the small fabrics the workload tests use.
+var closSizes = []struct{ racks, hostsPerRack, spines int }{
+	{2, 8, 4},  // multipath rack pair (TwoRack(8, 4))
+	{1, 1, 4},  // single-node job
+	{1, 2, 4},  // 2-node job
+	{1, 4, 4},  // 4-node job
+	{1, 8, 4},  // 8-node job
+	{1, 16, 4}, // 16-node job
+	{2, 16, 4}, // 32-node job, two racks
+	{2, 2, 2},  // minimal multi-rack, minimal ECMP
+}
+
+// TestClosProperties asserts, for every Clos size the experiments build:
+// every host pair is reachable, hop counts match the 3-stage expectation
+// (1 switch intra-rack, 3 inter-rack), and ECMP spreads distinct flow
+// labels across more than one ToR uplink.
+func TestClosProperties(t *testing.T) {
+	link := LinkConfig{GbpsRate: 200, PropDelay: time.Microsecond}
+	for _, sz := range closSizes {
+		sz := sz
+		t.Run(fmt.Sprintf("racks%d_hosts%d_spines%d", sz.racks, sz.hostsPerRack, sz.spines), func(t *testing.T) {
+			s := sim.New(1)
+			topo := Clos(s, sz.racks, sz.hostsPerRack, sz.spines, link, link)
+			nHosts := sz.racks * sz.hostsPerRack
+			if len(topo.Hosts) != nHosts {
+				t.Fatalf("built %d hosts, want %d", len(topo.Hosts), nHosts)
+			}
+
+			// Record (src -> hops) for every delivery at every host.
+			type arrival struct {
+				src  NodeID
+				hops int
+			}
+			got := make(map[NodeID][]arrival)
+			for _, h := range topo.Hosts {
+				h := h
+				h.SetHandler(HandlerFunc(func(f *Frame) {
+					got[h.ID] = append(got[h.ID], arrival{f.Src, f.Hops})
+				}))
+			}
+
+			// Reachability + hop counts: one frame per ordered pair.
+			for _, src := range topo.Hosts {
+				for _, dst := range topo.Hosts {
+					if src == dst {
+						continue
+					}
+					f := src.NewFrame()
+					f.Dst = dst.ID
+					f.FlowHash = uint64(src.ID)<<16 | uint64(dst.ID)
+					f.Size = 100
+					src.Send(f)
+				}
+			}
+			s.Run()
+			rack := func(id NodeID) int { return int(id) / sz.hostsPerRack }
+			for _, dst := range topo.Hosts {
+				arrivals := got[dst.ID]
+				if len(arrivals) != nHosts-1 {
+					t.Fatalf("host %d received %d frames, want %d (unreachable pair)",
+						dst.ID, len(arrivals), nHosts-1)
+				}
+				seen := make(map[NodeID]bool)
+				for _, a := range arrivals {
+					seen[a.src] = true
+					want := 1 // host -> ToR -> host
+					if rack(a.src) != rack(dst.ID) {
+						want = 3 // host -> ToR -> spine -> ToR -> host
+					}
+					if a.hops != want {
+						t.Fatalf("frame %d->%d took %d switch hops, want %d",
+							a.src, dst.ID, a.hops, want)
+					}
+				}
+				if len(seen) != nHosts-1 {
+					t.Fatalf("host %d heard from %d distinct sources, want %d",
+						dst.ID, len(seen), nHosts-1)
+				}
+			}
+
+			// ECMP spread: with >1 rack and >1 spine, distinct flow labels
+			// from one inter-rack pair must use more than one ToR uplink.
+			if sz.racks > 1 && sz.spines > 1 {
+				src, dst := topo.Hosts[0], topo.Hosts[sz.hostsPerRack]
+				uplinks := topo.ToRs[0].RouteTo(dst.ID)
+				if len(uplinks) != sz.spines {
+					t.Fatalf("ToR 0 has %d uplinks toward host %d, want %d",
+						len(uplinks), dst.ID, sz.spines)
+				}
+				before := make([]uint64, len(uplinks))
+				for i, p := range uplinks {
+					before[i] = p.Stats.TxFrames
+				}
+				for label := 0; label < 64; label++ {
+					f := src.NewFrame()
+					f.Dst = dst.ID
+					f.FlowHash = uint64(label) * 0x9e3779b97f4a7c15
+					f.Size = 100
+					src.Send(f)
+				}
+				s.Run()
+				used := 0
+				for i, p := range uplinks {
+					if p.Stats.TxFrames > before[i] {
+						used++
+					}
+				}
+				if used <= 1 {
+					t.Fatalf("64 distinct flow labels used only %d of %d uplinks", used, len(uplinks))
+				}
+			}
+		})
+	}
+}

@@ -214,7 +214,12 @@ func (n *Node) HandleFrame(f *netsim.Frame) {
 func (n *Node) send(dst netsim.NodeID, p *packet, hash uint64) {
 	size := headerBytes + p.Size
 	emit := func() {
-		n.host.Send(&netsim.Frame{Dst: dst, FlowHash: hash, Size: size, Payload: p})
+		f := n.host.NewFrame()
+		f.Dst = dst
+		f.FlowHash = hash
+		f.Size = size
+		f.Payload = p
+		n.host.Send(f)
 	}
 	if n.nic != nil {
 		n.nic.Process(p.QP, emit)

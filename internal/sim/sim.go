@@ -74,10 +74,16 @@ type Clock interface {
 // a cancelled event surfaces), the object returns to the simulator's free
 // list and its generation counter advances, which invalidates any stale
 // Timer handle still pointing at it.
+//
+// An event carries either fn (closure scheduling via At/After) or act
+// (typed-action scheduling via AtAction); exactly one is set. Storing the
+// Action interface inline reuses the same pooled object, so an AtAction
+// schedule allocates nothing when the action value is a pointer.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among events at the same instant
 	fn   func()
+	act  Action
 	gen  uint32
 	dead bool
 }
@@ -239,6 +245,7 @@ func (s *Simulator) alloc() *event {
 // generation invalidates outstanding Timer handles to it.
 func (s *Simulator) recycle(e *event) {
 	e.fn = nil
+	e.act = nil
 	e.gen++
 	s.free = append(s.free, e)
 }
@@ -270,13 +277,43 @@ func (t Timer) Pending() bool { return t.e != nil && t.e.gen == t.gen && !t.e.de
 // a programming error and panics: silently reordering time would invalidate
 // experiment results.
 func (s *Simulator) At(at Time, fn func()) Timer {
+	e := s.schedule(at)
+	e.fn = fn
+	return Timer{s: s, e: e, gen: e.gen}
+}
+
+// Action is a typed event callback: the allocation-free alternative to a
+// closure for hot paths that schedule per-packet work. A closure passed to
+// At captures its state on the heap at every call site; an Action carries
+// its state in the concrete value itself, and because the pooled event
+// stores the interface inline, scheduling a pointer-backed Action performs
+// no allocation at all. Delivery order is identical to At: an AtAction and
+// an At issued back-to-back get consecutive sequence numbers, so swapping
+// one form for the other never perturbs the (time, seq) event stream.
+type Action interface {
+	// RunAction is invoked when the event fires, exactly like a scheduled
+	// closure body.
+	RunAction()
+}
+
+// AtAction schedules a typed action to run at time at. Semantics match At
+// in every respect (ordering, panics, Timer cancellation); only the
+// callback representation differs.
+func (s *Simulator) AtAction(at Time, a Action) Timer {
+	e := s.schedule(at)
+	e.act = a
+	return Timer{s: s, e: e, gen: e.gen}
+}
+
+// schedule allocates and enqueues a bare event at time at; the caller fills
+// in the callback (fn or act).
+func (s *Simulator) schedule(at Time) *event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
 	e := s.alloc()
 	e.at = at
 	e.seq = s.seq
-	e.fn = fn
 	e.dead = false
 	s.seq++
 	s.live++
@@ -285,7 +322,7 @@ func (s *Simulator) At(at Time, fn func()) Timer {
 	} else {
 		heap.Push(&s.far, e)
 	}
-	return Timer{s: s, e: e, gen: e.gen}
+	return e
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -344,8 +381,13 @@ func (s *Simulator) step() bool {
 		s.obs.OnEvent(e.at, e.seq)
 	}
 	fn := e.fn
+	act := e.act
 	s.recycle(e)
-	fn()
+	if act != nil {
+		act.RunAction()
+	} else {
+		fn()
+	}
 	return true
 }
 

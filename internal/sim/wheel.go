@@ -190,6 +190,25 @@ func (s *Simulator) wheelPop() *event {
 			w.l1[m] = items[:0]
 			w.l1bits[m>>6] &^= 1 << uint(m&63)
 			w.l1Count -= len(items)
+			live := false
+			for _, e := range items {
+				if !e.dead {
+					live = true
+					break
+				}
+			}
+			if !live {
+				// A slot holding nothing but cancelled timers must not
+				// re-anchor level 0: advancing l0Gran past granules the
+				// clock has not reached would let a later Run() strand
+				// fresh events behind the l1Next scan point (they hash
+				// to level-1 slots nextBit never revisits). Reclaim the
+				// slot and keep the anchor where the clock is.
+				for _, e := range items {
+					s.recycle(e)
+				}
+				continue
+			}
 			w.l1Next = m + 1
 			w.l0Gran = w.epoch<<l1Bits | uint64(m)
 			w.l0Next = 0

@@ -213,12 +213,11 @@ func (c *Conn) transmit(n int, done func()) {
 		}
 		remaining -= seg
 		last := remaining <= 0
-		frame := &netsim.Frame{
-			Dst:      c.peer.host.ID,
-			FlowHash: uint64(c.id), // single path
-			Size:     seg + 66,     // TCP/IP + Ethernet headers
-			Payload:  &msg{conn: c.id, last: last, bytes: seg, total: n, deliver: done},
-		}
+		frame := c.node.host.NewFrame()
+		frame.Dst = c.peer.host.ID
+		frame.FlowHash = uint64(c.id) // single path
+		frame.Size = seg + 66         // TCP/IP + Ethernet headers
+		frame.Payload = &msg{conn: c.id, last: last, bytes: seg, total: n, deliver: done}
 		// Pace at the stack's throughput cap.
 		gap := time.Duration(float64(seg+66) * 8 / p.MaxGbps)
 		at := c.nextSend

@@ -118,6 +118,7 @@ func CollectPort(r *Registry, prefix string, p *netsim.Port) {
 		emit(prefix+"/port/tx_bytes", float64(s.TxBytes))
 		emit(prefix+"/port/queue_drops", float64(s.QueueDrops))
 		emit(prefix+"/port/random_drops", float64(s.RandomDrops))
+		emit(prefix+"/port/down_drops", float64(s.DownDrops))
 		emit(prefix+"/port/reordered", float64(s.Reordered))
 		emit(prefix+"/port/ecn_marks", float64(s.ECNMarks))
 		emit(prefix+"/port/max_queue_bytes", float64(s.MaxQueueBytes))

@@ -1,0 +1,43 @@
+package testkit
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSweepPoolEquivalence runs fault-sweep scenarios with the fabric's
+// frame/event pooling on and off and requires byte-identical trace hashes:
+// recycling Frames and port events must be invisible to the protocol — same
+// (time, seq) event stream, same RNG draw order, same packet contents. This
+// is the fabric counterpart of TestSweepSchedulerEquivalence, guarding the
+// PR5 fast path the way that test guards the timing wheel.
+func TestSweepPoolEquivalence(t *testing.T) {
+	scs := shortMatrix()
+	if !testing.Short() {
+		scs = Matrix()
+	}
+	seeds := []int64{0, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, sc := range scs {
+		for _, extra := range seeds {
+			sc := sc
+			sc.Seed += extra * 1000
+			t.Run(fmt.Sprintf("%s/seed%d", sc.Name, sc.Seed), func(t *testing.T) {
+				sc.LegacyAlloc = false
+				pooled := Run(sc)
+				sc.LegacyAlloc = true
+				legacy := Run(sc)
+				if pooled.TraceHash != legacy.TraceHash || pooled.Records != legacy.Records {
+					t.Fatalf("pooling changes the trace on %q seed %d:\n  pooled %016x (%d records)\n  legacy %016x (%d records)",
+						sc.Name, sc.Seed, pooled.TraceHash, pooled.Records, legacy.TraceHash, legacy.Records)
+				}
+				if pooled.SimTime != legacy.SimTime || pooled.Completed != legacy.Completed {
+					t.Fatalf("pooling changes the outcome on %q seed %d: simtime %v vs %v, completed %d vs %d",
+						sc.Name, sc.Seed, pooled.SimTime, legacy.SimTime, pooled.Completed, legacy.Completed)
+				}
+			})
+		}
+	}
+}

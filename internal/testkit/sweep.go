@@ -49,6 +49,12 @@ type Scenario struct {
 	// trace hash (asserted by TestSweepSchedulerEquivalence).
 	Scheduler sim.Scheduler
 
+	// LegacyAlloc runs the fabric with pooling disabled (fresh heap frames
+	// and port events, the pre-PR5 behaviour) as a verification oracle; the
+	// trace hash must match the pooled run exactly (asserted by
+	// TestSweepPoolEquivalence).
+	LegacyAlloc bool
+
 	// Workload shape. Zero values take the defaults noted.
 	Workload Workload
 	Ops      int // transactions to issue (default 200)
@@ -190,6 +196,9 @@ func Run(sc Scenario) Result {
 	s := sim.NewWithScheduler(sc.Seed, sc.Scheduler)
 	link := netsim.LinkConfig{GbpsRate: sc.Gbps, PropDelay: sc.PropDelay}
 	topo, fwd := netsim.PointToPoint(s, link)
+	if sc.LegacyAlloc {
+		topo.Net.SetLegacyAlloc(true)
+	}
 	rev := topo.ToRs[0].RouteTo(topo.Hosts[0].ID)[0]
 
 	cl := core.NewCluster(s)
