@@ -16,7 +16,10 @@ short:
 	$(GO) test -short ./...
 
 # Race detection, including the parallel falconbench path (the worker pool
-# plus a few experiments fanned across 4 goroutines).
+# plus a few experiments fanned across 4 goroutines). The `go test -race`
+# pass includes TestSweepRaceShort: the short fault-sweep matrix at 3 seeds
+# under the optimized hot path, so the batched ACK/timer path is
+# race-checked against real scenario traffic, not just the bench figures.
 race:
 	$(GO) test -race ./...
 	$(GO) run -race ./cmd/falconbench -quick -parallel 4 -run 'fig18|fig19|fig21|fig22a|fig23' >/dev/null
@@ -26,9 +29,12 @@ sweep:
 	$(GO) test -v -run 'TestSweep|TestDeterminism|TestExperimentDeterminism' \
 		./internal/testkit/ ./internal/experiments/
 
-# Wire-format fuzzing (bounded; remove -fuzztime to run until interrupted).
+# Wire-format fuzzing plus the differential SACK-scan fuzzer (word-at-a-
+# time bitmap walk vs the naive per-PSN loop, across the uint32 PSN wrap).
+# Bounded; remove -fuzztime to run until interrupted.
 fuzz:
 	$(GO) test -fuzz FuzzUnmarshal -fuzztime 30s ./internal/falcon/wire/
+	$(GO) test -fuzz FuzzSACKScan -fuzztime 30s ./internal/falcon/pdl/
 
 vet:
 	$(GO) vet ./...
@@ -51,15 +57,22 @@ metrics:
 		-metrics BENCH_pr3_metrics.json -series BENCH_pr3_series
 
 # Fast-path regression gate: the zero-alloc assertions on the fabric hot
-# path (port send, switch forward, host deliver, AtAction dispatch) plus
-# the two trace-hash equivalence suites — wheel-vs-heap schedulers and
-# pooled-vs-legacy allocation — over the short sweep matrix. Fails if the
-# per-frame path regains an allocation or any fast-path rebuild becomes
-# visible to the protocol. See DESIGN.md §10.
+# path (port send, switch forward, host deliver, AtAction dispatch), the
+# end-to-end transport steady-state alloc gate, and the trace-hash
+# equivalence suites — wheel-vs-heap schedulers, pooled-vs-legacy
+# allocation, and the PR 6 legacy-vs-optimized PDL/TL hot path over the
+# full 33-scenario fault-sweep matrix (plus the eager-vs-lazy timer
+# oracle). The AST lint keeps map indexing and closure-based scheduling
+# out of the steady-state path so regressions fail here rather than in
+# profiles. See DESIGN.md §10–11.
 perfcheck:
 	$(GO) test -run 'ZeroAlloc' -v ./internal/netsim/ ./internal/sim/
+	$(GO) test -run 'TestTransportSteadyStateAllocs' -v ./internal/core/
 	$(GO) test -short -run 'TestSweepSchedulerEquivalence|TestSweepPoolEquivalence' \
 		./internal/testkit/
+	$(GO) test -run 'TestSweepHotPathEquivalence|TestSweepTimerEquivalence' \
+		./internal/testkit/
+	$(GO) test -run 'TestHotPathLint' ./internal/testkit/
 
 # Regenerate every table at full measurement windows (several minutes).
 bench-full:

@@ -22,6 +22,9 @@
 //	                                   # runs; forces serial execution)
 //	falconbench -sched heap            # A/B the reference heap scheduler;
 //	                                   # tables must be identical
+//	falconbench -legacyhotpath         # A/B the legacy transport hot path
+//	                                   # (map tables, heap packets, per-PSN
+//	                                   # scans); tables must be identical
 //	falconbench -cpuprofile cpu.pprof  # pprof profiles of the run
 //	falconbench -memprofile mem.pprof
 //
@@ -38,6 +41,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"falcon/internal/core"
 	"falcon/internal/experiments"
 	"falcon/internal/sim"
 	"falcon/internal/telemetry"
@@ -52,6 +56,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a deterministic per-figure metrics JSON to this file (forces a serial instrumented run)")
 	seriesDir := flag.String("series", "", "write per-figure time-series CSVs into this directory (forces a serial instrumented run)")
 	sched := flag.String("sched", "wheel", "event scheduler: wheel (default) or heap (reference)")
+	legacyHotPath := flag.Bool("legacyhotpath", false, "run the transport on the legacy hot path oracle (map tables, heap packets, per-PSN scans)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
@@ -71,6 +76,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -sched %q: want wheel or heap\n", *sched)
 		os.Exit(2)
 	}
+	core.SetDefaultLegacyHotPath(*legacyHotPath)
 	var re *regexp.Regexp
 	if *run != "" {
 		var err error

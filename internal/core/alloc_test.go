@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"falcon/internal/core"
+	"falcon/internal/netsim"
+	"falcon/internal/sim"
+)
+
+// TestTransportSteadyStateAllocs is the end-to-end allocation gate the
+// zero-alloc hot path is held to: after a warmup that brings every pool,
+// free list, dense table, and timing-wheel bucket to steady-state
+// capacity, a closed-loop window of mixed push/pull transactions — the
+// full PDL/TL/NIC/fabric round trip — must run effectively allocation-
+// free. The bound is a small fraction of an allocation per operation
+// rather than exactly zero because the wheel occasionally regrows a
+// bucket when timer deadlines cross epoch boundaries; a regression that
+// reintroduces even one per-packet or per-transaction allocation
+// overshoots it by 20x. `make perfcheck` runs this.
+func TestTransportSteadyStateAllocs(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := netsim.PointToPoint(s, netsim.LinkConfig{GbpsRate: 100, PropDelay: sim.Microsecond})
+	cl := core.NewCluster(s)
+	a := cl.AddNode(topo.Hosts[0], core.DefaultNodeConfig())
+	b := cl.AddNode(topo.Hosts[1], core.DefaultNodeConfig())
+	epA, epB := cl.Connect(a, b, core.DefaultConnConfig())
+	epB.SetTarget(benchTarget{})
+
+	const window = 16
+	const opBytes = 4096
+	issued, completed, inFlight, limit := 0, 0, 0, 0
+	var pump func()
+	done := func(_ []byte, err error) {
+		if err != nil {
+			t.Fatalf("transaction error: %v", err)
+		}
+		inFlight--
+		completed++
+		pump()
+	}
+	pump = func() {
+		for inFlight < window && issued < limit {
+			var err error
+			if issued%2 == 0 {
+				_, err = epA.Push(nil, opBytes, done)
+			} else {
+				_, err = epA.Pull(opBytes, done)
+			}
+			if err != nil {
+				return // backpressure: the Xon callback re-pumps
+			}
+			inFlight++
+			issued++
+		}
+	}
+	epA.TL().SetXonCallback(pump)
+
+	runOps := func(n int) {
+		limit += n
+		pump()
+		s.RunUntil(s.Now().Add(3600 * sim.Second))
+		if completed != limit {
+			t.Fatalf("completed %d of %d ops", completed, limit)
+		}
+	}
+
+	runOps(20000) // warm everything to capacity
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	const measured = 40000
+	runOps(measured)
+	runtime.ReadMemStats(&after)
+
+	perOp := float64(after.Mallocs-before.Mallocs) / measured
+	t.Logf("steady state: %.4f allocs/op, %.1f B/op over %d ops",
+		perOp, float64(after.TotalAlloc-before.TotalAlloc)/measured, measured)
+	if perOp > 0.05 {
+		t.Fatalf("transport hot path allocates: %.4f allocs/op, want <= 0.05", perOp)
+	}
+}

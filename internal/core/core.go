@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"falcon/internal/falcon/fae"
 	"falcon/internal/falcon/pdl"
@@ -23,6 +24,23 @@ import (
 	"falcon/internal/psp"
 	"falcon/internal/sim"
 )
+
+// defaultLegacyHotPath selects the transport hot-path implementation for
+// clusters that don't choose explicitly (the pattern of
+// sim.SetDefaultScheduler): false runs the word-level scoreboard scans,
+// dense RSN tables and packet pooling; true restores the per-PSN loops,
+// map-backed tables and heap packets as the verification oracle.
+var defaultLegacyHotPath atomic.Bool
+
+// SetDefaultLegacyHotPath switches subsequently created clusters between
+// the optimized hot path (false, the default) and the legacy oracle
+// (true). The two produce byte-identical event traces — enforced by
+// internal/testkit's equivalence sweep — so the knob exists for A/B
+// verification and benchmarking, not behavior.
+func SetDefaultLegacyHotPath(v bool) { defaultLegacyHotPath.Store(v) }
+
+// DefaultLegacyHotPath reports the current process-wide default.
+func DefaultLegacyHotPath() bool { return defaultLegacyHotPath.Load() }
 
 // NodeConfig parameterizes one Falcon node (NIC + shared resources + FAE).
 type NodeConfig struct {
@@ -62,12 +80,34 @@ type Cluster struct {
 	sim        *sim.Simulator
 	nodes      map[netsim.NodeID]*Node
 	nextConnID uint32
+	// pool recycles every transport packet in the cluster: TL requests,
+	// PDL acks, and the in-flight fabric copies (one pool per cluster —
+	// the simulator world is single-threaded).
+	pool   *wire.PacketPool
+	legacy bool
 }
 
 // NewCluster creates an empty cluster on the simulator.
 func NewCluster(s *sim.Simulator) *Cluster {
-	return &Cluster{sim: s, nodes: make(map[netsim.NodeID]*Node), nextConnID: 1}
+	cl := &Cluster{sim: s, nodes: make(map[netsim.NodeID]*Node), nextConnID: 1, pool: wire.NewPacketPool()}
+	cl.SetLegacyHotPath(defaultLegacyHotPath.Load())
+	return cl
 }
+
+// SetLegacyHotPath switches this cluster between the optimized transport
+// hot path and the legacy oracle (see SetDefaultLegacyHotPath). It must be
+// called before nodes and connections are created: the flag is baked into
+// each endpoint's PDL/TL configuration.
+func (cl *Cluster) SetLegacyHotPath(v bool) {
+	cl.legacy = v
+	cl.pool.SetLegacy(v)
+	for _, n := range cl.nodes {
+		n.res.SetLegacy(v)
+	}
+}
+
+// LegacyHotPath reports the cluster's hot-path selection.
+func (cl *Cluster) LegacyHotPath() bool { return cl.legacy }
 
 // Sim returns the owning simulator.
 func (cl *Cluster) Sim() *sim.Simulator { return cl.sim }
@@ -106,6 +146,7 @@ func (cl *Cluster) AddNode(host *netsim.Host, cfg NodeConfig) *Node {
 		conns:   make(map[uint32]*Endpoint),
 		pspKey:  cfg.PSPMasterKey,
 	}
+	n.res.SetLegacy(cl.legacy)
 	n.engine = fae.New(cl.sim, cfg.FAE, n.applyFAEResponse)
 	host.SetHandler(n)
 	cl.nodes[host.ID] = n
@@ -122,6 +163,11 @@ type Node struct {
 	engine  *fae.Engine
 	conns   map[uint32]*Endpoint
 	pspKey  []byte
+
+	// Free lists for the per-packet NIC pipeline jobs (TX egress and RX
+	// ingress), recycled as they fire.
+	txJobs *txJob
+	rxJobs *rxJob
 }
 
 // Host returns the underlying fabric host.
@@ -136,19 +182,49 @@ func (n *Node) Resources() *tl.Resources { return n.res }
 // Engine returns the node's FAE.
 func (n *Node) Engine() *fae.Engine { return n.engine }
 
+// rxJob is the pooled NIC-ingress pass for one arriving packet: it runs
+// after the pipeline's admission delay, hands the packet to the PDL, and
+// returns it to the cluster pool (no layer above retains inbound packets —
+// holders copy by value; see wire.PacketPool's ownership contract).
+type rxJob struct {
+	ep   *Endpoint
+	pkt  *wire.Packet
+	hops int
+	next *rxJob
+}
+
+func (j *rxJob) RunAction() {
+	ep, p, hops := j.ep, j.pkt, j.hops
+	n := ep.node
+	j.ep, j.pkt = nil, nil
+	j.next = n.rxJobs
+	n.rxJobs = j
+	ep.pdl.HandlePacket(p, hops)
+	n.cluster.pool.Release(p)
+}
+
 // HandleFrame implements netsim.Handler: NIC ingress.
 func (n *Node) HandleFrame(f *netsim.Frame) {
 	switch payload := f.Payload.(type) {
 	case *wire.Packet:
 		ep, ok := n.conns[payload.ConnID]
 		if !ok {
-			return // stale packet for a closed connection
+			// Stale packet for a closed connection: drop, reclaiming
+			// the fabric copy.
+			n.cluster.pool.Release(payload)
+			return
 		}
 		if f.CE {
 			payload.Flags |= wire.FlagCE
 		}
-		hops := f.Hops
-		n.nic.Process(payload.ConnID, func() { ep.pdl.HandlePacket(payload, hops) })
+		j := n.rxJobs
+		if j == nil {
+			j = &rxJob{}
+		} else {
+			n.rxJobs = j.next
+		}
+		j.ep, j.pkt, j.hops = ep, payload, f.Hops
+		n.nic.ProcessAction(payload.ConnID, j)
 	case sealedFrame:
 		ep, ok := n.conns[payload.conn]
 		if !ok || ep.rxSA == nil {
@@ -177,6 +253,39 @@ func (n *Node) applyFAEResponse(r fae.Response) {
 	}
 	ep.tl.SetAlpha(r.Alpha)
 	ep.pdl.ApplyResponse(r)
+}
+
+// txJob is the pooled NIC-egress pass for one outbound packet: after the
+// pipeline's admission delay it wraps the in-flight snapshot in a fabric
+// frame (sealing it first when PSP is on) and transmits.
+type txJob struct {
+	ep   *Endpoint
+	pkt  *wire.Packet
+	next *txJob
+}
+
+func (j *txJob) RunAction() {
+	ep, cp := j.ep, j.pkt
+	n := ep.node
+	j.ep, j.pkt = nil, nil
+	j.next = n.txJobs
+	n.txJobs = j
+	frame := n.host.NewFrame()
+	frame.Dst = ep.peer
+	frame.FlowHash = flowHash(ep.id, cp.FlowLabel)
+	frame.Size = cp.WireSize()
+	if ep.txSA != nil {
+		sealed, err := ep.txSA.Seal(cp.Marshal(nil), pspCryptOffset, 0)
+		n.cluster.pool.Release(cp)
+		if err != nil {
+			return
+		}
+		frame.Payload = sealedFrame{conn: ep.id, data: sealed}
+		frame.Size += psp.Overhead
+	} else {
+		frame.Payload = cp
+	}
+	n.host.Send(frame)
 }
 
 // Endpoint is one side of a Falcon connection.
@@ -261,31 +370,31 @@ func (cl *Cluster) Connect(a, b *Node, cfg ConnConfig) (*Endpoint, *Endpoint) {
 }
 
 func newEndpoint(n *Node, id uint32, peer netsim.NodeID, cfg ConnConfig) *Endpoint {
+	if n.cluster.legacy {
+		// The cluster-level oracle switch overrides per-connection
+		// selection: a legacy cluster is legacy end to end.
+		cfg.PDL.LegacyHotPath = true
+		cfg.TL.LegacyHotPath = true
+	}
 	ep := &Endpoint{node: n, id: id, peer: peer}
 
 	cb := pdl.Callbacks{
 		Send: func(p *wire.Packet) {
 			// Snapshot the packet at transmission time: the PDL may
-			// mutate its copy on retransmission while this one is
-			// in flight.
-			cp := *p
-			n.nic.Process(id, func() {
-				frame := n.host.NewFrame()
-				frame.Dst = peer
-				frame.FlowHash = flowHash(id, cp.FlowLabel)
-				frame.Size = cp.WireSize()
-				if ep.txSA != nil {
-					sealed, err := ep.txSA.Seal(cp.Marshal(nil), pspCryptOffset, 0)
-					if err != nil {
-						return
-					}
-					frame.Payload = sealedFrame{conn: id, data: sealed}
-					frame.Size += psp.Overhead
-				} else {
-					frame.Payload = &cp
-				}
-				n.host.Send(frame)
-			})
+			// mutate (or recycle) its copy while this one is in
+			// flight. The snapshot is itself a pooled packet, released
+			// when the NIC egress job has put it on the wire (PSP) or
+			// by the receiving node after delivery (cleartext).
+			cp := n.cluster.pool.Acquire()
+			cp.CopyFrom(p)
+			j := n.txJobs
+			if j == nil {
+				j = &txJob{}
+			} else {
+				n.txJobs = j.next
+			}
+			j.ep, j.pkt = ep, cp
+			n.nic.ProcessAction(id, j)
 		},
 		Deliver: func(p *wire.Packet) pdl.DeliverVerdict {
 			v := ep.tl.Deliver(p)
@@ -314,7 +423,9 @@ func newEndpoint(n *Node, id uint32, peer netsim.NodeID, cfg ConnConfig) *Endpoi
 	}
 
 	ep.pdl = pdl.NewConn(n.cluster.sim, id, cfg.PDL, cb)
+	ep.pdl.SetPacketPool(n.cluster.pool)
 	ep.tl = tl.NewConn(n.cluster.sim, id, cfg.TL, n.res, ep.pdl, nil)
+	ep.tl.SetPacketPool(n.cluster.pool)
 	labels := n.engine.RegisterConn(id, cfg.PDL.NumFlows)
 	ep.pdl.SetFlowLabels(labels)
 	return ep

@@ -1,0 +1,85 @@
+package core_test
+
+// End-to-end transport microbenchmarks: a closed-loop window of push or
+// pull transactions over a two-node point-to-point cluster, measuring the
+// whole PDL/TL/NIC/fabric round trip per operation. These are the paired
+// before/after numbers in BENCH_pr6.json's microbench section; run with
+// -benchmem to see the steady-state allocation count the zero-alloc work
+// targets.
+
+import (
+	"testing"
+
+	"falcon/internal/core"
+	"falcon/internal/falcon/tl"
+	"falcon/internal/falcon/wire"
+	"falcon/internal/netsim"
+	"falcon/internal/sim"
+)
+
+// benchTarget serves every request successfully; pulls are answered with
+// the solicited length (simulation mode, no materialized bytes).
+type benchTarget struct{}
+
+func (benchTarget) HandlePush(rsn uint64, p *wire.Packet) tl.TargetVerdict {
+	return tl.TargetVerdict{Kind: tl.TargetOK}
+}
+
+func (benchTarget) HandlePull(rsn uint64, p *wire.Packet) ([]byte, uint32, tl.TargetVerdict) {
+	return nil, p.PullLength, tl.TargetVerdict{Kind: tl.TargetOK}
+}
+
+// benchTransport drives ops closed-loop transactions (window 16, 4KB)
+// through a freshly built two-node cluster and returns only when every
+// one of them completed.
+func benchTransport(b *testing.B, pull bool) {
+	s := sim.New(1)
+	topo, _ := netsim.PointToPoint(s, netsim.LinkConfig{GbpsRate: 100, PropDelay: sim.Microsecond})
+	cl := core.NewCluster(s)
+	a := cl.AddNode(topo.Hosts[0], core.DefaultNodeConfig())
+	bn := cl.AddNode(topo.Hosts[1], core.DefaultNodeConfig())
+	epA, epB := cl.Connect(a, bn, core.DefaultConnConfig())
+	epB.SetTarget(benchTarget{})
+
+	const window = 16
+	const opBytes = 4096
+	issued, completed, inFlight := 0, 0, 0
+	var pump func()
+	done := func(_ []byte, err error) {
+		if err != nil {
+			b.Fatalf("transaction error: %v", err)
+		}
+		inFlight--
+		completed++
+		pump()
+	}
+	pump = func() {
+		for inFlight < window && issued < b.N {
+			var err error
+			if pull {
+				_, err = epA.Pull(opBytes, done)
+			} else {
+				_, err = epA.Push(nil, opBytes, done)
+			}
+			if err != nil {
+				return // backpressure: the Xon callback re-pumps
+			}
+			inFlight++
+			issued++
+		}
+	}
+	epA.TL().SetXonCallback(pump)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	pump()
+	s.RunUntil(s.Now().Add(3600 * sim.Second))
+	b.StopTimer()
+	if completed != b.N {
+		b.Fatalf("completed %d of %d ops", completed, b.N)
+	}
+}
+
+func BenchmarkTransportPush(b *testing.B) { benchTransport(b, false) }
+
+func BenchmarkTransportPull(b *testing.B) { benchTransport(b, true) }

@@ -19,6 +19,17 @@
 //
 // The PDL is transport mechanism only: all parameter computation (Swift,
 // RACK/TLP timeouts, repathing, α_c) lives in the FAE.
+//
+// # Hot-path layout (DESIGN.md §11)
+//
+// The per-packet send/ack path is steady-state allocation-free: tracked
+// packets live in by-value scoreboard slots, the acked/parked sets are
+// mirrored in 128-bit bitmaps scanned a word at a time, wire packets are
+// recycled through a wire.PacketPool, and every timer is a pooled typed
+// event (sim.Action). Two verification oracles cover the rebuild:
+// Config.LegacyHotPath restores the per-PSN scan loops (byte-identical
+// traces required), and Config.EagerTimers restores stop/re-arm timer
+// management (protocol-identical traces required; see testkit).
 package pdl
 
 import (
@@ -98,6 +109,20 @@ type Config struct {
 	// (Callbacks.Failed fires once) rather than retrying forever.
 	// Zero disables the budget (retry forever).
 	MaxConsecutiveRTOs int
+
+	// LegacyHotPath selects the per-PSN reference scan loops instead of
+	// the word-at-a-time bitmap scans. The two paths must produce
+	// byte-identical event traces; the legacy path is kept as the test
+	// oracle (testkit's hot-path equivalence suite), mirroring the
+	// fabric's SetLegacyAlloc.
+	LegacyHotPath bool
+	// EagerTimers restores stop/re-arm timer management: every ACK with
+	// progress cancels and reschedules the RTO and TLP timers. The
+	// default (false) mirrors the same fire times through lazily
+	// re-armed deadline timers, which keeps per-ACK work off the timing
+	// wheel; the eager path is the oracle for protocol-trace
+	// equivalence (fire times match, raw event schedules differ).
+	EagerTimers bool
 }
 
 // DefaultConfig returns the settings used throughout the evaluation.
@@ -143,7 +168,10 @@ type DeliverVerdict struct {
 
 // Callbacks wires a connection's PDL to its NIC, TL and FAE.
 type Callbacks struct {
-	// Send transmits a packet onto the fabric (via the NIC model).
+	// Send transmits a packet onto the fabric (via the NIC model). The
+	// packet pointer is only valid for the duration of the call: Send
+	// implementations must snapshot it synchronously (ACK/NACK packets
+	// return to the connection's pool when Send returns).
 	Send func(p *wire.Packet)
 	// Deliver hands an arriving data packet to the transaction layer.
 	Deliver func(p *wire.Packet) DeliverVerdict
@@ -224,23 +252,38 @@ func MultiProbe(ps ...Probe) Probe {
 }
 
 // txPacket tracks one outstanding transmitted packet (the per-packet
-// context of §5.2's hardware error handling).
+// context of §5.2's hardware error handling). Slots are stored by value in
+// the scoreboard ring; psn/rsn/typ are copied out of the packet at
+// transmit time so the wire packet can return to its pool the moment the
+// slot is acknowledged.
 type txPacket struct {
 	pkt    *wire.Packet
 	txTime sim.Time
 	origTx sim.Time // first transmission time (for RTT-valid sampling)
-	flow   int
-	acked  bool
+	psn    uint32
+	rsn    uint64
+	gen    uint32 // bumped when the slot is reused (stale-timer guard)
+	flow   int32
 	retx   int
+	typ    wire.Type
+	live   bool // slot has been filled at least once for psn
+	acked  bool
 	nacked bool // resource-NACKed, awaiting scheduled retransmit
 }
 
-// txSpace is the sender side of one sequence space.
+// txSpace is the sender side of one sequence space. The acked and nacked
+// bitmaps mirror the per-slot flags relative to base (bit i describes PSN
+// base+i; WindowSize never exceeds wire.BitmapBits), which is what lets
+// ACK processing and loss recovery scan the scoreboard a word at a time.
 type txSpace struct {
 	space wire.Space
 	next  uint32 // next PSN to assign
 	base  uint32 // lowest unacked PSN
-	pkts  []*txPacket
+	pkts  []txPacket
+	// acked mirrors slot.acked for live slots in [base, next).
+	acked wire.Bitmap
+	// nackedB mirrors slot.nacked (parked packets) the same way.
+	nackedB wire.Bitmap
 	// outstanding counts unacked transmitted packets.
 	outstanding int
 	// parked counts the subset of outstanding packets that are
@@ -253,9 +296,18 @@ type txSpace struct {
 	parked int
 }
 
-func (s *txSpace) slot(psn uint32) *txPacket { return s.pkts[int(psn)%len(s.pkts)] }
-func (s *txSpace) setSlot(psn uint32, p *txPacket) {
-	s.pkts[int(psn)%len(s.pkts)] = p
+func (s *txSpace) slot(psn uint32) *txPacket { return &s.pkts[int(psn)%len(s.pkts)] }
+
+// advanceTo slides the window base forward to newBase, shifting the
+// bitmap mirrors to keep them base-relative.
+func (s *txSpace) advanceTo(newBase uint32) {
+	n := int(int32(newBase - s.base))
+	if n <= 0 {
+		return
+	}
+	s.acked.ShiftRight(n)
+	s.nackedB.ShiftRight(n)
+	s.base = newBase
 }
 
 // rxSpace is the receiver side of one sequence space.
@@ -265,13 +317,23 @@ type rxSpace struct {
 }
 
 // rxFlow is per-flow receiver state: the latest timestamp pair for delay
-// computation, the ACK coalescing counter, and the pending ECN echo.
+// computation, the ACK coalescing counter, and the pending ECN echo. It is
+// its own coalescing-timer callback (sim.Action), so arming the timer
+// allocates nothing.
 type rxFlow struct {
+	c        *Conn
+	idx      int
 	t1, t2   int64
 	pending  int
 	ackTimer sim.Timer
 	valid    bool
 	ceSeen   bool
+}
+
+// RunAction flushes the coalesced ACK when the timer fires.
+func (rf *rxFlow) RunAction() {
+	rf.c.Stats.AcksCoalesced++
+	rf.c.sendAck(rf.idx)
 }
 
 // flowState is per-flow sender state.
@@ -284,6 +346,35 @@ type flowState struct {
 	rackXmit sim.Time
 	sent     uint64 // data packets sent on this flow (AR cadence)
 }
+
+// pktQueue is a head-indexed FIFO of data packets accepted from the TL.
+// Popping advances a cursor instead of reslicing, so a queue that drains
+// to empty reuses its buffer forever (the old `q = q[1:]` pattern grew a
+// fresh backing array every window).
+type pktQueue struct {
+	buf  []*wire.Packet
+	head int
+}
+
+func (q *pktQueue) len() int { return len(q.buf) - q.head }
+
+func (q *pktQueue) push(p *wire.Packet) { q.buf = append(q.buf, p) }
+
+func (q *pktQueue) pop() *wire.Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 >= len(q.buf) {
+		q.buf = q.buf[:copy(q.buf, q.buf[q.head:])]
+		q.head = 0
+	}
+	return p
+}
+
+func (q *pktQueue) reset() { q.buf, q.head = nil, 0 }
 
 // Stats counts per-connection PDL activity.
 type Stats struct {
@@ -330,13 +421,19 @@ type Conn struct {
 	id   uint32
 	hops int // last observed path hop count
 
+	// pool recycles ACK/NACK packets this connection builds and data
+	// packets it owns (see wire.PacketPool's ownership contract). A nil
+	// pool falls back to heap packets, which directly-constructed test
+	// connections rely on.
+	pool *wire.PacketPool
+
 	// Sender state.
 	tx     [wire.NumSpaces]*txSpace
-	flows  []*flowState
+	flows  []flowState
 	ncwnd  float64
-	reqQ   []*wire.Packet // queued request-space packets from TL
-	respQ  []*wire.Packet // queued response-space packets from TL
-	rrNext int            // round-robin cursor for PolicyRoundRobin
+	reqQ   pktQueue // queued request-space packets from TL
+	respQ  pktQueue // queued response-space packets from TL
+	rrNext int      // round-robin cursor for PolicyRoundRobin
 
 	rto        time.Duration
 	rackReoWnd time.Duration
@@ -360,9 +457,29 @@ type Conn struct {
 	// per srtt/cwnd).
 	nextPaced sim.Time
 
+	// Lazy timer mirrors (EagerTimers false): xxxDeadline is the fire
+	// time the eager discipline would have produced (zero = logically
+	// stopped); xxxFireAt is when the currently scheduled event will
+	// surface, always <= the deadline while one is pending. See
+	// timers.go.
+	rtoDeadline  sim.Time
+	tlpDeadline  sim.Time
+	rackDeadline sim.Time
+	rtoFireAt    sim.Time
+	tlpFireAt    sim.Time
+	rackFireAt   sim.Time
+
+	// Typed timer callbacks (pooled events; see timers.go).
+	rtoAct  timerAction
+	tlpAct  timerAction
+	rackAct timerAction
+	paceAct timerAction
+	// nackEvents is the free list of resource-NACK backoff events.
+	nackEvents *nackRetryEvent
+
 	// Receiver state.
 	rx     [wire.NumSpaces]*rxSpace
-	rxFlow []*rxFlow
+	rxFlow []rxFlow
 
 	// lastAckProgress notes the last time an ACK advanced anything, for
 	// TLP's "period of inactivity".
@@ -375,6 +492,10 @@ type Conn struct {
 
 	// probe, when non-nil, observes sends and receives (verification).
 	probe Probe
+
+	// Scratch buffers reused across ACK processing and recovery scans.
+	ackScratch  [wire.MaxFlows]int
+	lostScratch []*txPacket
 
 	Stats Stats
 }
@@ -422,19 +543,29 @@ func NewConn(s *sim.Simulator, id uint32, cfg Config, cb Callbacks) *Conn {
 		reoWndMult: 1,
 		ncwnd:      float64(cfg.WindowSize),
 	}
+	c.rtoAct = timerAction{c: c, kind: timerRTO}
+	c.tlpAct = timerAction{c: c, kind: timerTLP}
+	c.rackAct = timerAction{c: c, kind: timerRack}
+	c.paceAct = timerAction{c: c, kind: timerPace}
 	for i := range c.tx {
-		c.tx[i] = &txSpace{space: wire.Space(i), pkts: make([]*txPacket, cfg.WindowSize)}
+		c.tx[i] = &txSpace{space: wire.Space(i), pkts: make([]txPacket, cfg.WindowSize)}
 		c.rx[i] = &rxSpace{}
 	}
+	c.flows = make([]flowState, cfg.NumFlows)
+	c.rxFlow = make([]rxFlow, cfg.NumFlows)
 	for i := 0; i < cfg.NumFlows; i++ {
-		c.flows = append(c.flows, &flowState{
+		c.flows[i] = flowState{
 			label: wire.MakeFlowLabel(uint32(id)*wire.MaxFlows+uint32(i)+1, i),
 			fcwnd: 16 / float64(cfg.NumFlows),
-		})
-		c.rxFlow = append(c.rxFlow, &rxFlow{})
+		}
+		c.rxFlow[i] = rxFlow{c: c, idx: i}
 	}
 	return c
 }
+
+// SetPacketPool attaches a packet pool (nil keeps heap packets). Must be
+// called before traffic flows; internal/core wires one pool per cluster.
+func (c *Conn) SetPacketPool(p *wire.PacketPool) { c.pool = p }
 
 // ID returns the connection ID.
 func (c *Conn) ID() uint32 { return c.id }
@@ -457,7 +588,7 @@ func (c *Conn) TxUnacked(space wire.Space) int {
 	ts := c.tx[space]
 	n := 0
 	for psn := ts.base; psn != ts.next; psn++ {
-		if tp := ts.slot(psn); tp != nil && tp.pkt.PSN == psn && !tp.acked {
+		if tp := ts.slot(psn); tp.live && tp.psn == psn && !tp.acked {
 			n++
 		}
 	}
@@ -506,8 +637,8 @@ func (c *Conn) SRTT() time.Duration { return c.srttHint }
 
 func (c *Conn) connFcwnd() float64 {
 	sum := 0.0
-	for _, f := range c.flows {
-		sum += f.fcwnd
+	for i := range c.flows {
+		sum += c.flows[i].fcwnd
 	}
 	return sum
 }
@@ -528,7 +659,7 @@ func (c *Conn) totalInFlight() int {
 
 // QueuedPackets returns packets accepted from the TL but not yet
 // transmitted (scheduler backlog).
-func (c *Conn) QueuedPackets() int { return len(c.reqQ) + len(c.respQ) }
+func (c *Conn) QueuedPackets() int { return c.reqQ.len() + c.respQ.len() }
 
 // Outstanding returns the number of transmitted-but-unacked packets.
 func (c *Conn) Outstanding() int { return c.totalOutstanding() }

@@ -1,9 +1,11 @@
 package pdl
 
 import (
+	"math/bits"
 	"time"
 
 	"falcon/internal/falcon/fae"
+	"falcon/internal/falcon/wire"
 	"falcon/internal/sim"
 )
 
@@ -23,33 +25,61 @@ func (c *Conn) runRecovery(now sim.Time) {
 // been SACKed (so the path has delivered past it), and (b) at least the
 // reordering window has elapsed since its transmission. Packets not yet
 // eligible get a timer at their eligibility instant.
+//
+// The candidate set — live, unacked, not parked — is exactly the clear
+// bits of the acked|nacked mirrors inside the live window, so the word
+// path visits it via masked trailing-zero iteration in the same ascending
+// order as the legacy per-PSN loop.
 func (c *Conn) runRack(now sim.Time) {
 	reoWnd := c.rackReoWnd * time.Duration(c.reoWndMult)
 	if c.srttHint > 0 && reoWnd > 2*c.srttHint {
 		reoWnd = 2 * c.srttHint
 	}
-	var lost []*txPacket
+	lost := c.lostScratch[:0]
 	var nextCheck sim.Time
 	for _, ts := range c.tx {
-		for psn := ts.base; psn != ts.next; psn++ {
-			tp := ts.slot(psn)
-			if tp == nil || tp.acked || tp.nacked {
-				continue
+		if c.cfg.LegacyHotPath {
+			for psn := ts.base; psn != ts.next; psn++ {
+				tp := ts.slot(psn)
+				if !tp.live || tp.acked || tp.nacked {
+					continue
+				}
+				f := &c.flows[tp.flow]
+				if f.rackXmit <= tp.txTime {
+					// Nothing sent after it has been delivered:
+					// reordering cannot be ruled out yet.
+					continue
+				}
+				eligibleAt := tp.txTime.Add(reoWnd)
+				if eligibleAt <= now {
+					lost = append(lost, tp)
+				} else if nextCheck == 0 || eligibleAt < nextCheck {
+					nextCheck = eligibleAt
+				}
 			}
-			f := c.flows[tp.flow]
-			if f.rackXmit <= tp.txTime {
-				// Nothing sent after it has been delivered:
-				// reordering cannot be ruled out yet.
-				continue
-			}
-			eligibleAt := tp.txTime.Add(reoWnd)
-			if eligibleAt <= now {
-				lost = append(lost, tp)
-			} else if nextCheck == 0 || eligibleAt < nextCheck {
-				nextCheck = eligibleAt
+			continue
+		}
+		cand := wire.LowMask(int(ts.next - ts.base)).AndNot(ts.acked).AndNot(ts.nackedB)
+		for wi, w := range cand {
+			hi := wi * 64
+			for w != 0 {
+				o := hi + bits.TrailingZeros64(w)
+				w &= w - 1
+				tp := ts.slot(ts.base + uint32(o))
+				f := &c.flows[tp.flow]
+				if f.rackXmit <= tp.txTime {
+					continue
+				}
+				eligibleAt := tp.txTime.Add(reoWnd)
+				if eligibleAt <= now {
+					lost = append(lost, tp)
+				} else if nextCheck == 0 || eligibleAt < nextCheck {
+					nextCheck = eligibleAt
+				}
 			}
 		}
 	}
+	c.lostScratch = lost[:0] // retain grown capacity for the next scan
 	for _, tp := range lost {
 		c.retransmit(tp, retxRACK)
 	}
@@ -57,15 +87,19 @@ func (c *Conn) runRack(now sim.Time) {
 		c.cb.PostEvent(fae.Event{
 			Kind: fae.EventFastRetransmit,
 			Conn: c.id,
-			Flow: lost[0].flow,
+			Flow: int(lost[0].flow),
 			Now:  now,
 		})
 	}
 	if nextCheck > 0 {
-		if c.rackTimer.Pending() {
-			c.rackTimer.Stop()
+		if c.cfg.EagerTimers {
+			if c.rackTimer.Pending() {
+				c.rackTimer.Stop()
+			}
+			c.rackTimer = c.sim.AtAction(nextCheck, &c.rackAct)
+		} else {
+			c.setRackDeadline(nextCheck)
 		}
-		c.rackTimer = c.sim.At(nextCheck, func() { c.runRack(c.sim.Now()) })
 	}
 }
 
@@ -80,31 +114,54 @@ func (c *Conn) runOOODistance() {
 	}
 	retransmitted := false
 	for _, ts := range c.tx {
-		// Highest SACKed PSN in this space.
-		var highest uint32
-		var haveHighest bool
-		for psn := ts.base; psn != ts.next; psn++ {
-			tp := ts.slot(psn)
-			if tp != nil && tp.acked {
-				highest = psn
-				haveHighest = true
+		if c.cfg.LegacyHotPath {
+			// Highest SACKed PSN in this space.
+			var highest uint32
+			var haveHighest bool
+			for psn := ts.base; psn != ts.next; psn++ {
+				tp := ts.slot(psn)
+				if tp.live && tp.acked {
+					highest = psn
+					haveHighest = true
+				}
 			}
-		}
-		if !haveHighest {
-			continue
-		}
-		for psn := ts.base; psn != ts.next; psn++ {
-			// Serial arithmetic: distance below the highest SACK must
-			// survive the uint32 PSN wrap.
-			if int32(highest-psn) < int32(dist) {
-				break
-			}
-			tp := ts.slot(psn)
-			if tp == nil || tp.acked || tp.nacked {
+			if !haveHighest {
 				continue
 			}
-			c.retransmit(tp, retxOOO)
-			retransmitted = true
+			for psn := ts.base; psn != ts.next; psn++ {
+				// Serial arithmetic: distance below the highest SACK must
+				// survive the uint32 PSN wrap.
+				if int32(highest-psn) < int32(dist) {
+					break
+				}
+				tp := ts.slot(psn)
+				if !tp.live || tp.acked || tp.nacked {
+					continue
+				}
+				c.retransmit(tp, retxOOO)
+				retransmitted = true
+			}
+			continue
+		}
+		h := ts.acked.HighestSet()
+		if h < 0 {
+			continue
+		}
+		// Offsets strictly more than dist-1 below the highest SACK:
+		// [0, h-dist+1), minus acked and parked packets.
+		lim := h - int(dist) + 1
+		if lim <= 0 {
+			continue
+		}
+		cand := wire.LowMask(lim).AndNot(ts.acked).AndNot(ts.nackedB)
+		for wi, w := range cand {
+			hi := wi * 64
+			for w != 0 {
+				o := hi + bits.TrailingZeros64(w)
+				w &= w - 1
+				c.retransmit(ts.slot(ts.base+uint32(o)), retxOOO)
+				retransmitted = true
+			}
 		}
 	}
 	if retransmitted && c.cb.PostEvent != nil {
@@ -129,12 +186,17 @@ func (c *Conn) onTLP() {
 	}
 	if c.sim.Now().Sub(c.lastAckProgress) < c.tlpTimeout {
 		// Progress happened since arming; re-arm for the remainder.
-		c.tlpTimer = c.sim.After(c.tlpTimeout, c.onTLP)
+		t := c.sim.Now().Add(c.tlpTimeout)
+		if c.cfg.EagerTimers {
+			c.tlpTimer = c.sim.AtAction(t, &c.tlpAct)
+		} else {
+			c.setTLPDeadline(t)
+		}
 		return
 	}
 	var probe *txPacket
 	for _, ts := range c.tx {
-		if tp := ts.highestUnacked(); tp != nil && (probe == nil || tp.txTime < probe.txTime) {
+		if tp := ts.highestUnacked(c.cfg.LegacyHotPath); tp != nil && (probe == nil || tp.txTime < probe.txTime) {
 			probe = tp
 		}
 	}
@@ -166,31 +228,79 @@ func (c *Conn) onRTO() {
 	}
 	now := c.sim.Now()
 	for _, ts := range c.tx {
-		scanned := false
-		for psn := ts.base; psn != ts.next; psn++ {
-			tp := ts.slot(psn)
-			if tp == nil || tp.acked {
-				continue
+		if c.cfg.LegacyHotPath {
+			scanned := false
+			for psn := ts.base; psn != ts.next; psn++ {
+				tp := ts.slot(psn)
+				if !tp.live || tp.acked {
+					continue
+				}
+				if !scanned {
+					scanned = true
+					if c.cb.PostEvent != nil {
+						c.cb.PostEvent(fae.Event{
+							Kind: fae.EventRTO, Conn: c.id, Flow: int(tp.flow), Now: now,
+						})
+					}
+				}
+				c.retransmit(tp, retxRTO)
 			}
-			if !scanned {
-				scanned = true
-				if c.cb.PostEvent != nil {
-					c.cb.PostEvent(fae.Event{
-						Kind: fae.EventRTO, Conn: c.id, Flow: tp.flow, Now: now,
-					})
+			continue
+		}
+		// Every unacked live packet, parked ones included (the RTO
+		// supersedes their pending backoff). ts.next is re-read after each
+		// mask is drained: the first retransmit posts EventRTO, and with a
+		// zero FAE response delay the window update re-enters trySend
+		// synchronously, so brand-new packets can be stamped while the
+		// scan is still running. The per-PSN loop above picks those up by
+		// re-reading ts.next every iteration; the word scan must extend
+		// its mask the same way or a freshly sent tail packet would
+		// escape the RTO retransmission. Growth only ever appends offsets
+		// past the previous bound (base and the acked mirror change only
+		// on packet receipt, never inside this loop), so extending keeps
+		// the visit order identical to the per-PSN scan.
+		scanned := false
+		for lo := 0; ; {
+			hiBound := int(ts.next - ts.base)
+			if lo >= hiBound {
+				break
+			}
+			cand := wire.LowMask(hiBound).AndNot(wire.LowMask(lo)).AndNot(ts.acked)
+			lo = hiBound
+			for wi, w := range cand {
+				hi := wi * 64
+				for w != 0 {
+					o := hi + bits.TrailingZeros64(w)
+					w &= w - 1
+					tp := ts.slot(ts.base + uint32(o))
+					if !scanned {
+						scanned = true
+						if c.cb.PostEvent != nil {
+							c.cb.PostEvent(fae.Event{
+								Kind: fae.EventRTO, Conn: c.id, Flow: int(tp.flow), Now: now,
+							})
+						}
+					}
+					c.retransmit(tp, retxRTO)
 				}
 			}
-			c.retransmit(tp, retxRTO)
 		}
 	}
 	if c.rtoBackoff < 8 {
 		c.rtoBackoff++
 	}
-	c.rtoTimer.Stop()
-	c.armTimers()
+	if c.cfg.EagerTimers {
+		c.rtoTimer.Stop()
+		c.armTimers()
+		return
+	}
+	// Lazy: overwrite the deadline with the backed-off interval (the
+	// retransmit path just re-armed it at the pre-backoff value).
+	c.setRTODeadline(now.Add(c.rtoDelay()))
 }
 
-// fail declares the connection dead: timers stop, queues drop, and the TL
+// fail declares the connection dead: timers stop, queues drop (their
+// packets return to the pool, as do the tracked unacked ones), and the TL
 // is told to error everything pending (§5.2: exceptions are handled in the
 // fast path, not by retrying forever).
 func (c *Conn) fail() {
@@ -202,8 +312,23 @@ func (c *Conn) fail() {
 	c.tlpTimer.Stop()
 	c.rackTimer.Stop()
 	c.paceTimer.Stop()
-	c.reqQ = nil
-	c.respQ = nil
+	c.rtoDeadline, c.tlpDeadline, c.rackDeadline = 0, 0, 0
+	for c.reqQ.len() > 0 {
+		c.pool.Release(c.reqQ.pop())
+	}
+	for c.respQ.len() > 0 {
+		c.pool.Release(c.respQ.pop())
+	}
+	c.reqQ.reset()
+	c.respQ.reset()
+	for _, ts := range c.tx {
+		for psn := ts.base; psn != ts.next; psn++ {
+			if tp := ts.slot(psn); tp.live && !tp.acked && tp.pkt != nil {
+				c.pool.Release(tp.pkt)
+				tp.pkt = nil
+			}
+		}
+	}
 	if c.cb.Failed != nil {
 		c.cb.Failed(ErrConnectionLost)
 	}

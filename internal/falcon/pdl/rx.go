@@ -1,6 +1,7 @@
 package pdl
 
 import (
+	"math/bits"
 	"time"
 
 	"falcon/internal/falcon/fae"
@@ -38,7 +39,7 @@ func (c *Conn) handleData(p *wire.Packet) {
 	if flowIdx >= len(c.rxFlow) {
 		flowIdx = 0
 	}
-	rf := c.rxFlow[flowIdx]
+	rf := &c.rxFlow[flowIdx]
 	now := c.sim.Now()
 
 	// Serial arithmetic: PSNs wrap at 2^32, so the offset from base must be
@@ -96,29 +97,26 @@ func (c *Conn) handleData(p *wire.Packet) {
 		c.Stats.AcksImmediate++
 		c.sendAck(flowIdx)
 	} else if !rf.ackTimer.Pending() {
-		rf.ackTimer = c.sim.After(c.cfg.AckCoalesceDelay, func() {
-			c.Stats.AcksCoalesced++
-			c.sendAck(flowIdx)
-		})
+		rf.ackTimer = c.sim.AtAction(now.Add(c.cfg.AckCoalesceDelay), rf)
 	}
 }
 
 // sendAck emits an ACK carrying the RX window bitmaps of both spaces plus
-// the congestion metadata of the given flow.
+// the congestion metadata of the given flow. The packet comes from the
+// connection pool and returns to it as soon as Send has snapshotted it.
 func (c *Conn) sendAck(flowIdx int) {
-	rf := c.rxFlow[flowIdx]
+	rf := &c.rxFlow[flowIdx]
 	rf.pending = 0
 	rf.ackTimer.Stop()
 	now := c.sim.Now()
-	ack := &wire.Packet{
-		Type:         wire.TypeAck,
-		ConnID:       c.id,
-		FlowLabel:    c.flows[flowIdx%len(c.flows)].label,
-		AckFlowIndex: uint8(flowIdx),
-		T3:           int64(now),
-		Req:          wire.AckInfo{Base: c.rx[wire.SpaceRequest].base, Bitmap: c.rx[wire.SpaceRequest].bitmap},
-		Resp:         wire.AckInfo{Base: c.rx[wire.SpaceResponse].base, Bitmap: c.rx[wire.SpaceResponse].bitmap},
-	}
+	ack := c.pool.Acquire()
+	ack.Type = wire.TypeAck
+	ack.ConnID = c.id
+	ack.FlowLabel = c.flows[flowIdx%len(c.flows)].label
+	ack.AckFlowIndex = uint8(flowIdx)
+	ack.T3 = int64(now)
+	ack.Req = wire.AckInfo{Base: c.rx[wire.SpaceRequest].base, Bitmap: c.rx[wire.SpaceRequest].bitmap}
+	ack.Resp = wire.AckInfo{Base: c.rx[wire.SpaceResponse].base, Bitmap: c.rx[wire.SpaceResponse].bitmap}
 	if rf.valid {
 		ack.T1Echo, ack.T2 = rf.t1, rf.t2
 	}
@@ -134,6 +132,7 @@ func (c *Conn) sendAck(flowIdx int) {
 	}
 	c.Stats.AcksSent++
 	c.cb.Send(ack)
+	c.pool.Release(ack)
 }
 
 func clamp01(v float64) float64 {
@@ -156,20 +155,20 @@ func (c *Conn) SendExceptionNack(space wire.Space, psn uint32, rsn uint64, code 
 
 // sendNack emits an exception NACK for a specific packet.
 func (c *Conn) sendNack(p *wire.Packet, code wire.NackCode, retry time.Duration) {
-	n := &wire.Packet{
-		Type:         wire.TypeNack,
-		NackCode:     code,
-		ConnID:       c.id,
-		FlowLabel:    c.flows[0].label,
-		PSN:          p.PSN,
-		Space:        p.Space,
-		RSN:          p.RSN,
-		RetryDelayNs: uint32(retry.Nanoseconds()),
-		Req:          wire.AckInfo{Base: c.rx[wire.SpaceRequest].base, Bitmap: c.rx[wire.SpaceRequest].bitmap},
-		Resp:         wire.AckInfo{Base: c.rx[wire.SpaceResponse].base, Bitmap: c.rx[wire.SpaceResponse].bitmap},
-	}
+	n := c.pool.Acquire()
+	n.Type = wire.TypeNack
+	n.NackCode = code
+	n.ConnID = c.id
+	n.FlowLabel = c.flows[0].label
+	n.PSN = p.PSN
+	n.Space = p.Space
+	n.RSN = p.RSN
+	n.RetryDelayNs = uint32(retry.Nanoseconds())
+	n.Req = wire.AckInfo{Base: c.rx[wire.SpaceRequest].base, Bitmap: c.rx[wire.SpaceRequest].bitmap}
+	n.Resp = wire.AckInfo{Base: c.rx[wire.SpaceResponse].base, Bitmap: c.rx[wire.SpaceResponse].bitmap}
 	c.Stats.NacksSent++
 	c.cb.Send(n)
+	c.pool.Release(n)
 }
 
 // handleAck runs the sender pipeline for an arriving ACK: SACK processing
@@ -179,18 +178,13 @@ func (c *Conn) handleAck(p *wire.Packet) {
 	c.Stats.AcksReceived++
 	now := c.sim.Now()
 
-	newlyAckedPerFlow := make([]int, len(c.flows))
-	progress := false
-	for _, sp := range []struct {
-		ts   *txSpace
-		info wire.AckInfo
-	}{
-		{c.tx[wire.SpaceRequest], p.Req},
-		{c.tx[wire.SpaceResponse], p.Resp},
-	} {
-		if c.processAckInfo(sp.ts, sp.info, newlyAckedPerFlow) {
-			progress = true
-		}
+	perFlow := c.ackScratch[:len(c.flows)]
+	for i := range perFlow {
+		perFlow[i] = 0
+	}
+	progress := c.processAckInfo(c.tx[wire.SpaceRequest], p.Req, perFlow)
+	if c.processAckInfo(c.tx[wire.SpaceResponse], p.Resp, perFlow) {
+		progress = true
 	}
 
 	// Ordered-completion horizon from the target's TL.
@@ -220,7 +214,7 @@ func (c *Conn) handleAck(p *wire.Packet) {
 				c.srttHint = (7*c.srttHint + rtt) / 8
 			}
 		}
-		acked := newlyAckedPerFlow[ackFlow]
+		acked := perFlow[ackFlow]
 		c.cb.PostEvent(fae.Event{
 			Kind:           fae.EventAck,
 			Conn:           c.id,
@@ -242,10 +236,80 @@ func (c *Conn) handleAck(p *wire.Packet) {
 
 // processAckInfo folds one space's ACK info into the TX scoreboard. It
 // reports whether any packet was newly acknowledged.
+//
+// The word path scans the acked mirror a word at a time instead of walking
+// PSNs one by one; it visits exactly the live unacked offsets the legacy
+// loops would mark, in the same ascending order (TL completion order
+// depends on it), so the two produce byte-identical traces.
 func (c *Conn) processAckInfo(ts *txSpace, info wire.AckInfo, perFlow []int) bool {
+	if c.cfg.LegacyHotPath {
+		return c.processAckInfoLegacy(ts, info, perFlow)
+	}
 	progress := false
 	// Cumulative portion. Serial arithmetic throughout: PSNs wrap at 2^32,
 	// so ordering is a signed 32-bit difference, never a widened comparison.
+	if int32(info.Base-ts.base) > 0 {
+		lim := int32(info.Base - ts.base)
+		if n := int32(ts.next - ts.base); n < lim {
+			lim = n
+		}
+		// Every live offset below lim that is not yet acked.
+		pend := wire.LowMask(int(lim)).AndNot(ts.acked)
+		w := pend[0]
+		for w != 0 {
+			o := bits.TrailingZeros64(w)
+			w &= w - 1
+			if c.markAcked(ts, ts.base+uint32(o), perFlow) {
+				progress = true
+			}
+		}
+		w = pend[1]
+		for w != 0 {
+			o := 64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if c.markAcked(ts, ts.base+uint32(o), perFlow) {
+				progress = true
+			}
+		}
+		if int32(info.Base-ts.next) <= 0 {
+			ts.advanceTo(info.Base)
+		} else {
+			ts.advanceTo(ts.next)
+		}
+	}
+	// Selective portion: visit the set bits of the wire bitmap.
+	w := info.Bitmap[0]
+	for w != 0 {
+		i := bits.TrailingZeros64(w)
+		w &= w - 1
+		psn := info.Base + uint32(i)
+		if int32(psn-ts.base) < 0 || int32(psn-ts.next) >= 0 {
+			continue
+		}
+		if c.markAcked(ts, psn, perFlow) {
+			progress = true
+		}
+	}
+	w = info.Bitmap[1]
+	for w != 0 {
+		i := 64 + bits.TrailingZeros64(w)
+		w &= w - 1
+		psn := info.Base + uint32(i)
+		if int32(psn-ts.base) < 0 || int32(psn-ts.next) >= 0 {
+			continue
+		}
+		if c.markAcked(ts, psn, perFlow) {
+			progress = true
+		}
+	}
+	c.slideBase(ts)
+	return progress
+}
+
+// processAckInfoLegacy is the per-PSN reference implementation (oracle).
+func (c *Conn) processAckInfoLegacy(ts *txSpace, info wire.AckInfo, perFlow []int) bool {
+	progress := false
+	// Cumulative portion.
 	if int32(info.Base-ts.base) > 0 {
 		for psn := ts.base; psn != info.Base && psn != ts.next; psn++ {
 			if c.markAcked(ts, psn, perFlow) {
@@ -253,9 +317,9 @@ func (c *Conn) processAckInfo(ts *txSpace, info wire.AckInfo, perFlow []int) boo
 			}
 		}
 		if int32(info.Base-ts.next) <= 0 {
-			ts.base = info.Base
+			ts.advanceTo(info.Base)
 		} else {
-			ts.base = ts.next
+			ts.advanceTo(ts.next)
 		}
 	}
 	// Selective portion.
@@ -271,31 +335,51 @@ func (c *Conn) processAckInfo(ts *txSpace, info wire.AckInfo, perFlow []int) boo
 			progress = true
 		}
 	}
-	// Slide base over acked leading packets (SACKed contiguously).
-	for ts.base != ts.next {
-		tp := ts.slot(ts.base)
-		if tp == nil || !tp.acked {
-			break
-		}
-		ts.base++
-	}
+	c.slideBase(ts)
 	return progress
 }
 
+// slideBase advances the window base over the leading run of acked
+// packets (SACKed contiguously).
+func (c *Conn) slideBase(ts *txSpace) {
+	if c.cfg.LegacyHotPath {
+		for ts.base != ts.next {
+			tp := ts.slot(ts.base)
+			if !tp.live || !tp.acked {
+				break
+			}
+			ts.advanceTo(ts.base + 1)
+		}
+		return
+	}
+	run := ts.acked.LeadingRun()
+	if n := int(ts.next - ts.base); run > n {
+		run = n
+	}
+	if run > 0 {
+		ts.advanceTo(ts.base + uint32(run))
+	}
+}
+
 // markAcked marks one PSN acknowledged, returning true if it was newly
-// acked.
+// acked. The slot's wire packet returns to the pool once the TL has been
+// notified; the slot keeps psn/rsn/typ so later duplicate ACKs and NACKs
+// still resolve against it.
 func (c *Conn) markAcked(ts *txSpace, psn uint32, perFlow []int) bool {
 	tp := ts.slot(psn)
-	if tp == nil || tp.acked || tp.pkt.PSN != psn {
+	if !tp.live || tp.acked || tp.psn != psn {
 		return false
 	}
 	tp.acked = true
+	off := int(int32(psn - ts.base))
+	ts.acked.Set(off)
 	ts.outstanding--
 	if tp.nacked {
 		tp.nacked = false
+		ts.nackedB.Clear(off)
 		ts.parked--
 	}
-	f := c.flows[tp.flow]
+	f := &c.flows[tp.flow]
 	f.outstanding--
 	perFlow[tp.flow]++
 	// Spurious-retransmission detection: an ACK landing well under an
@@ -312,8 +396,10 @@ func (c *Conn) markAcked(ts *txSpace, psn uint32, perFlow []int) bool {
 		f.rackXmit = tp.txTime
 	}
 	if c.cb.PacketAcked != nil {
-		c.cb.PacketAcked(ts.space, psn, tp.pkt.RSN, tp.pkt.Type)
+		c.cb.PacketAcked(ts.space, psn, tp.rsn, tp.typ)
 	}
+	c.pool.Release(tp.pkt)
+	tp.pkt = nil
 	return true
 }
 
@@ -330,7 +416,7 @@ func (c *Conn) handleNack(p *wire.Packet) {
 	}
 	ts := c.tx[p.Space]
 	tp := ts.slot(p.PSN)
-	known := tp != nil && !tp.acked && tp.pkt.PSN == p.PSN
+	known := tp.live && !tp.acked && tp.psn == p.PSN
 
 	switch p.NackCode {
 	case wire.NackResourceExhausted:
@@ -341,18 +427,14 @@ func (c *Conn) handleNack(p *wire.Packet) {
 		// is resource-pressured.
 		if c.cb.PostEvent != nil {
 			c.cb.PostEvent(fae.Event{
-				Kind: fae.EventNack, Conn: c.id, Flow: tp.flow, Now: c.sim.Now(),
+				Kind: fae.EventNack, Conn: c.id, Flow: int(tp.flow), Now: c.sim.Now(),
 			})
 		}
 		if !tp.nacked {
 			tp.nacked = true
+			ts.nackedB.Set(int(int32(tp.psn - ts.base)))
 			ts.parked++
-			backoff := c.rto / 4
-			c.sim.After(backoff, func() {
-				if !tp.acked {
-					c.retransmit(tp, retxNackBackoff)
-				}
-			})
+			c.scheduleNackRetry(tp, p.Space, c.rto/4)
 			// Parking the packet opened congestion window: the scheduler
 			// may now transmit queued packets — in particular a
 			// head-of-line RNR retry the receiver is waiting for.
@@ -370,15 +452,12 @@ func (c *Conn) handleNack(p *wire.Packet) {
 		}
 		// PDL-level delivery is done: free the packet context.
 		if known {
-			perFlow := make([]int, len(c.flows))
-			c.markAcked(ts, p.PSN, perFlow)
-			for ts.base != ts.next {
-				sl := ts.slot(ts.base)
-				if sl == nil || !sl.acked {
-					break
-				}
-				ts.base++
+			perFlow := c.ackScratch[:len(c.flows)]
+			for i := range perFlow {
+				perFlow[i] = 0
 			}
+			c.markAcked(ts, p.PSN, perFlow)
+			c.slideBase(ts)
 			c.resetTimersOnProgress()
 		}
 		c.trySend()

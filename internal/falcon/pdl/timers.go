@@ -1,0 +1,246 @@
+package pdl
+
+import (
+	"time"
+
+	"falcon/internal/falcon/wire"
+	"falcon/internal/sim"
+)
+
+// Timer management. The PDL owns four per-connection timers (RTO, TLP,
+// RACK wakeup, pacing release). Under the eager discipline every ACK with
+// progress stops and re-arms the RTO and TLP timers — two timing-wheel
+// removals plus two insertions per ACK, which profiles as a top-five cost
+// on the simulator hot path. The default discipline instead mirrors the
+// fire time each timer WOULD have under eager management in a deadline
+// field and re-arms lazily:
+//
+//   - xxxDeadline is the eager fire time (zero = logically stopped). It is
+//     updated with plain stores as progress moves it.
+//   - At most one wheel event is kept pending per timer, surfacing at
+//     xxxFireAt. The invariant is xxxFireAt <= xxxDeadline whenever a
+//     deadline is set: moving a deadline EARLIER than the pending event
+//     reschedules it; moving it later just updates the field.
+//   - When the event surfaces before the current deadline it re-arms at
+//     exactly the deadline and does nothing else; when it surfaces at (or
+//     after) a live deadline it clears the deadline and runs the body.
+//
+// The body therefore runs at exactly the eager fire time with identical
+// connection state, so the two disciplines are protocol-equivalent (same
+// sends, same deliveries, same timestamps); only the raw scheduler event
+// stream differs. Config.EagerTimers keeps the eager discipline as the
+// oracle, and testkit's timer-equivalence sweep checks protocol traces
+// match across the 33-scenario fault matrix.
+
+// timerKind discriminates the four pooled timer callbacks.
+type timerKind uint8
+
+const (
+	timerRTO timerKind = iota
+	timerTLP
+	timerRack
+	timerPace
+)
+
+// timerAction is a pooled sim.Action for one of the connection's timers.
+// The four instances live inside Conn, so arming a timer never allocates.
+type timerAction struct {
+	c    *Conn
+	kind timerKind
+}
+
+func (a *timerAction) RunAction() {
+	c := a.c
+	switch a.kind {
+	case timerPace:
+		c.trySend()
+	case timerRTO:
+		if c.cfg.EagerTimers {
+			c.onRTO()
+			return
+		}
+		d := c.rtoDeadline
+		if d == 0 {
+			return
+		}
+		if now := c.sim.Now(); now < d {
+			c.rtoTimer = c.sim.AtAction(d, a)
+			c.rtoFireAt = d
+			return
+		}
+		c.rtoDeadline = 0
+		c.onRTO()
+	case timerTLP:
+		if c.cfg.EagerTimers {
+			c.onTLP()
+			return
+		}
+		d := c.tlpDeadline
+		if d == 0 {
+			return
+		}
+		if now := c.sim.Now(); now < d {
+			c.tlpTimer = c.sim.AtAction(d, a)
+			c.tlpFireAt = d
+			return
+		}
+		c.tlpDeadline = 0
+		c.onTLP()
+	case timerRack:
+		if c.cfg.EagerTimers {
+			c.runRack(c.sim.Now())
+			return
+		}
+		d := c.rackDeadline
+		if d == 0 {
+			return
+		}
+		if now := c.sim.Now(); now < d {
+			c.rackTimer = c.sim.AtAction(d, a)
+			c.rackFireAt = d
+			return
+		}
+		c.rackDeadline = 0
+		c.runRack(c.sim.Now())
+	}
+}
+
+// rtoDelay is the current backed-off RTO interval.
+func (c *Conn) rtoDelay() time.Duration {
+	d := c.rto << uint(c.rtoBackoff)
+	if d > c.cfg.MaxRTOBackoff {
+		d = c.cfg.MaxRTOBackoff
+	}
+	return d
+}
+
+// setRTODeadline installs a lazy RTO deadline, keeping the pending-event
+// invariant (fire-at never later than the deadline).
+func (c *Conn) setRTODeadline(t sim.Time) {
+	c.rtoDeadline = t
+	if c.rtoTimer.Pending() {
+		if c.rtoFireAt <= t {
+			return
+		}
+		c.rtoTimer.Stop()
+	}
+	c.rtoTimer = c.sim.AtAction(t, &c.rtoAct)
+	c.rtoFireAt = t
+}
+
+// setTLPDeadline installs a lazy TLP deadline.
+func (c *Conn) setTLPDeadline(t sim.Time) {
+	c.tlpDeadline = t
+	if c.tlpTimer.Pending() {
+		if c.tlpFireAt <= t {
+			return
+		}
+		c.tlpTimer.Stop()
+	}
+	c.tlpTimer = c.sim.AtAction(t, &c.tlpAct)
+	c.tlpFireAt = t
+}
+
+// setRackDeadline installs a lazy RACK-wakeup deadline. Unlike RTO/TLP the
+// RACK deadline can move earlier (a new SACK can make an older packet's
+// eligibility the soonest), which the fire-at invariant already handles.
+func (c *Conn) setRackDeadline(t sim.Time) {
+	c.rackDeadline = t
+	if c.rackTimer.Pending() {
+		if c.rackFireAt <= t {
+			return
+		}
+		c.rackTimer.Stop()
+	}
+	c.rackTimer = c.sim.AtAction(t, &c.rackAct)
+	c.rackFireAt = t
+}
+
+// armTimers ensures RTO and TLP supervision while data is outstanding.
+func (c *Conn) armTimers() {
+	if c.totalOutstanding() == 0 {
+		if c.cfg.EagerTimers {
+			c.rtoTimer.Stop()
+			c.tlpTimer.Stop()
+		} else {
+			c.rtoDeadline, c.tlpDeadline = 0, 0
+		}
+		return
+	}
+	if c.cfg.EagerTimers {
+		if !c.rtoTimer.Pending() {
+			c.rtoTimer = c.sim.AtAction(c.sim.Now().Add(c.rtoDelay()), &c.rtoAct)
+		}
+		if c.cfg.Recovery == RecoveryRackTLP && !c.tlpTimer.Pending() {
+			c.tlpTimer = c.sim.AtAction(c.sim.Now().Add(c.tlpTimeout), &c.tlpAct)
+		}
+		return
+	}
+	if c.rtoDeadline == 0 {
+		c.setRTODeadline(c.sim.Now().Add(c.rtoDelay()))
+	}
+	if c.cfg.Recovery == RecoveryRackTLP && c.tlpDeadline == 0 {
+		c.setTLPDeadline(c.sim.Now().Add(c.tlpTimeout))
+	}
+}
+
+// resetTimersOnProgress is called when an ACK acknowledges new data.
+func (c *Conn) resetTimersOnProgress() {
+	c.rtoBackoff = 0
+	c.consecRTOs = 0
+	now := c.sim.Now()
+	if c.cfg.EagerTimers {
+		c.rtoTimer.Stop()
+		c.tlpTimer.Stop()
+		c.lastAckProgress = now
+		c.armTimers()
+		return
+	}
+	c.lastAckProgress = now
+	if c.totalOutstanding() == 0 {
+		c.rtoDeadline, c.tlpDeadline = 0, 0
+		return
+	}
+	// Eager stops then re-arms from scratch; mirror its fresh deadlines.
+	c.setRTODeadline(now.Add(c.rtoDelay()))
+	if c.cfg.Recovery == RecoveryRackTLP {
+		c.setTLPDeadline(now.Add(c.tlpTimeout))
+	}
+}
+
+// nackRetryEvent is the pooled backoff retransmit for a resource-NACKed
+// packet. It identifies the packet by (space, psn, generation) rather than
+// holding the scoreboard slot, so a slot recycled after the window slides
+// past never triggers a stale retransmit.
+type nackRetryEvent struct {
+	c     *Conn
+	space wire.Space
+	psn   uint32
+	gen   uint32
+	next  *nackRetryEvent
+}
+
+func (ev *nackRetryEvent) RunAction() {
+	c := ev.c
+	ts := c.tx[ev.space]
+	tp := ts.slot(ev.psn)
+	ok := tp.live && tp.psn == ev.psn && tp.gen == ev.gen && !tp.acked
+	ev.next = c.nackEvents
+	c.nackEvents = ev
+	if ok {
+		c.retransmit(tp, retxNackBackoff)
+	}
+}
+
+// scheduleNackRetry arms the backoff retransmit for a parked packet using a
+// pooled event.
+func (c *Conn) scheduleNackRetry(tp *txPacket, space wire.Space, backoff time.Duration) {
+	ev := c.nackEvents
+	if ev == nil {
+		ev = &nackRetryEvent{c: c}
+	} else {
+		c.nackEvents = ev.next
+	}
+	ev.space, ev.psn, ev.gen = space, tp.psn, tp.gen
+	c.sim.AtAction(c.sim.Now().Add(backoff), ev)
+}

@@ -11,20 +11,23 @@ import (
 // for transmission. The TL fills Type, RSN and Length; the PDL assigns the
 // PSN, sequence space, flow and timestamps. SendPacket never blocks: the TL
 // has already passed resource admission, so the PDL queue is bounded by the
-// TL's resource pools.
+// TL's resource pools. Ownership of the packet transfers to the PDL: it is
+// released to the pool when acknowledged or when the connection fails.
 func (c *Conn) SendPacket(p *wire.Packet) {
 	if !p.Type.IsData() {
 		panic(fmt.Sprintf("pdl: SendPacket on non-data packet %v", p.Type))
 	}
 	if c.failed {
-		return // the TL has already been told to error everything
+		// The TL has already been told to error everything.
+		c.pool.Release(p)
+		return
 	}
 	p.ConnID = c.id
 	p.Space = wire.SpaceOf(p.Type)
 	if p.Space == wire.SpaceResponse {
-		c.respQ = append(c.respQ, p)
+		c.respQ.push(p)
 	} else {
-		c.reqQ = append(c.reqQ, p)
+		c.reqQ.push(p)
 	}
 	c.trySend()
 }
@@ -36,11 +39,11 @@ func (c *Conn) SendPacket(p *wire.Packet) {
 func (c *Conn) trySend() {
 	for {
 		sent := false
-		if len(c.respQ) > 0 && c.canSendData(wire.SpaceResponse) {
+		if c.respQ.len() > 0 && c.canSendData(wire.SpaceResponse) {
 			if c.transmitNext(&c.respQ, c.tx[wire.SpaceResponse]) {
 				sent = true
 			}
-		} else if len(c.reqQ) > 0 && c.canSendData(wire.SpaceRequest) {
+		} else if c.reqQ.len() > 0 && c.canSendData(wire.SpaceRequest) {
 			if c.transmitNext(&c.reqQ, c.tx[wire.SpaceRequest]) {
 				sent = true
 			}
@@ -92,7 +95,8 @@ func (c *Conn) pickFlow() int {
 	// Congestion-aware: the flow with the largest open window
 	// fcwnd - outstanding (§4.3).
 	best, bestOpen := 0, -1e18
-	for i, f := range c.flows {
+	for i := range c.flows {
+		f := &c.flows[i]
 		open := f.fcwnd - float64(f.outstanding)
 		if open > bestOpen {
 			best, bestOpen = i, open
@@ -101,15 +105,22 @@ func (c *Conn) pickFlow() int {
 	return best
 }
 
-func (c *Conn) transmitNext(q *[]*wire.Packet, ts *txSpace) bool {
-	p := (*q)[0]
-	*q = (*q)[1:]
+func (c *Conn) transmitNext(q *pktQueue, ts *txSpace) bool {
+	p := q.pop()
 	flow := c.pickFlow()
 	psn := ts.next
 	ts.next++
 
-	tp := &txPacket{pkt: p, flow: flow}
-	ts.setSlot(psn, tp)
+	tp := ts.slot(psn)
+	*tp = txPacket{
+		pkt:  p,
+		psn:  psn,
+		rsn:  p.RSN,
+		gen:  tp.gen + 1,
+		flow: int32(flow),
+		typ:  p.Type,
+		live: true,
+	}
 	ts.outstanding++
 	c.flows[flow].outstanding++
 
@@ -141,7 +152,7 @@ func (c *Conn) pacingGap(wnd float64) time.Duration {
 // label, sets T1 and the AR bit, and hands the packet to the NIC.
 func (c *Conn) stampAndSend(tp *txPacket, retransmit, tlp bool) {
 	p := tp.pkt
-	f := c.flows[tp.flow]
+	f := &c.flows[tp.flow]
 	now := c.sim.Now()
 	tp.txTime = now
 	if tp.origTx == 0 {
@@ -164,7 +175,7 @@ func (c *Conn) stampAndSend(tp *txPacket, retransmit, tlp bool) {
 	// a flow, and queue-draining packets ask for an immediate ACK.
 	if retransmit || tlp ||
 		(c.cfg.ARInterval > 0 && f.sent%uint64(c.cfg.ARInterval) == 0) ||
-		len(c.reqQ)+len(c.respQ) == 0 {
+		c.reqQ.len()+c.respQ.len() == 0 {
 		p.Flags |= wire.FlagAckReq
 	}
 	c.cb.Send(p)
@@ -178,7 +189,7 @@ func (c *Conn) stampAndSend(tp *txPacket, retransmit, tlp bool) {
 // window blocked transmission (ACK clocking cannot resume an idle
 // connection).
 func (c *Conn) maybePace() {
-	if len(c.reqQ)+len(c.respQ) == 0 {
+	if c.reqQ.len()+c.respQ.len() == 0 {
 		return
 	}
 	if c.totalInFlight() > 0 {
@@ -194,7 +205,7 @@ func (c *Conn) maybePace() {
 	if at <= c.sim.Now() {
 		at = c.sim.Now().Add(c.pacingGap(c.EffectiveWindow()))
 	}
-	c.paceTimer = c.sim.At(at, func() { c.trySend() })
+	c.paceTimer = c.sim.AtAction(at, &c.paceAct)
 }
 
 func maxf(a, b float64) float64 {
@@ -204,42 +215,24 @@ func maxf(a, b float64) float64 {
 	return b
 }
 
-// armTimers ensures RTO and TLP timers are pending while data is
-// outstanding.
-func (c *Conn) armTimers() {
-	if c.totalOutstanding() == 0 {
-		c.rtoTimer.Stop()
-		c.tlpTimer.Stop()
-		return
-	}
-	if !c.rtoTimer.Pending() {
-		d := c.rto << uint(c.rtoBackoff)
-		if d > c.cfg.MaxRTOBackoff {
-			d = c.cfg.MaxRTOBackoff
-		}
-		c.rtoTimer = c.sim.After(d, c.onRTO)
-	}
-	if c.cfg.Recovery == RecoveryRackTLP && !c.tlpTimer.Pending() {
-		c.tlpTimer = c.sim.After(c.tlpTimeout, c.onTLP)
-	}
-}
-
-// resetTimersOnProgress is called when an ACK acknowledges new data.
-func (c *Conn) resetTimersOnProgress() {
-	c.rtoBackoff = 0
-	c.consecRTOs = 0
-	c.rtoTimer.Stop()
-	c.tlpTimer.Stop()
-	c.lastAckProgress = c.sim.Now()
-	c.armTimers()
-}
-
 // lowestUnacked returns the oldest unacked tracked packet in the space, or
 // nil.
 func (ts *txSpace) lowestUnacked() *txPacket {
 	for psn := ts.base; psn != ts.next; psn++ {
 		tp := ts.slot(psn)
-		if tp != nil && !tp.acked {
+		if tp.live && !tp.acked {
+			return tp
+		}
+	}
+	return nil
+}
+
+// highestUnackedLegacy is the per-PSN reference scan for the TLP probe
+// target (LegacyHotPath oracle).
+func (ts *txSpace) highestUnackedLegacy() *txPacket {
+	for psn := ts.next; psn != ts.base; psn-- {
+		tp := ts.slot(psn - 1)
+		if tp.live && !tp.acked {
 			return tp
 		}
 	}
@@ -247,15 +240,18 @@ func (ts *txSpace) lowestUnacked() *txPacket {
 }
 
 // highestUnacked returns the newest (highest-PSN) unacked tracked packet in
-// the space, or nil — the tail packet a TLP must probe.
-func (ts *txSpace) highestUnacked() *txPacket {
-	for psn := ts.next; psn != ts.base; psn-- {
-		tp := ts.slot(psn - 1)
-		if tp != nil && !tp.acked {
-			return tp
-		}
+// the space, or nil — the tail packet a TLP must probe. The word path masks
+// the acked mirror down to the live window and takes the highest clear bit.
+func (ts *txSpace) highestUnacked(legacy bool) *txPacket {
+	if legacy {
+		return ts.highestUnackedLegacy()
 	}
-	return nil
+	n := int(ts.next - ts.base)
+	h := wire.LowMask(n).AndNot(ts.acked).HighestSet()
+	if h < 0 {
+		return nil
+	}
+	return ts.slot(ts.base + uint32(h))
 }
 
 // retxCause identifies which recovery mechanism decided to re-send a
@@ -281,7 +277,9 @@ func (c *Conn) retransmit(tp *txPacket, cause retxCause) {
 	}
 	if tp.nacked {
 		tp.nacked = false
-		c.tx[tp.pkt.Space].parked--
+		ts := c.tx[tp.pkt.Space]
+		ts.nackedB.Clear(int(int32(tp.psn - ts.base)))
+		ts.parked--
 	}
 	tp.retx++
 	switch cause {

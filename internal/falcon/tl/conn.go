@@ -67,7 +67,9 @@ type TargetVerdict struct {
 }
 
 // TargetHandler is the ULP-side interface invoked at the target NIC. On
-// ordered connections, handlers run in RSN order.
+// ordered connections, handlers run in RSN order. The packet pointer is
+// only valid for the duration of the call (the TL may recycle its storage
+// afterwards); p.Data may be retained — payload slices are never pooled.
 type TargetHandler interface {
 	// HandlePush processes arriving push data (e.g. executes an RDMA
 	// Write to host memory).
@@ -98,6 +100,12 @@ type Config struct {
 	Backpressure BackpressureMode
 	// StaticAlpha is the DT α for BackpressureStatic.
 	StaticAlpha float64
+
+	// LegacyHotPath backs the per-RSN tables with Go maps and restores
+	// the map-iteration scans (completion horizon, unordered release),
+	// as the byte-identical-trace oracle for the dense structures —
+	// the TL side of pdl.Config.LegacyHotPath.
+	LegacyHotPath bool
 }
 
 // DefaultConfig returns an ordered connection with 4KB MTU and dynamic
@@ -114,7 +122,8 @@ const (
 )
 
 // txn is one initiator-side transaction (at most one MTU, so exactly one
-// request packet and at most one response packet).
+// request packet and at most one response packet). Completed transactions
+// recycle through the connection's free list.
 type txn struct {
 	kind     txnKind
 	rsn      uint64
@@ -129,11 +138,16 @@ type txn struct {
 	released bool
 	err      error
 	respData []byte
+	nextFree *txn
 }
 
-// pendingReq is a target-side request awaiting in-order delivery.
+// pendingReq is a target-side request awaiting in-order delivery. The
+// packet is held by value: the inbound wire packet belongs to the
+// receive path and is recycled as soon as delivery returns, so the
+// reorder buffer snapshots it (Data is safe to alias — payload slices
+// are never pooled).
 type pendingReq struct {
-	pkt   *wire.Packet
+	pkt   wire.Packet
 	bytes int
 }
 
@@ -160,6 +174,29 @@ type Stats struct {
 	RequestsServed uint64
 }
 
+// respQueue is a head-indexed FIFO of deferred pull responses.
+type respQueue struct {
+	buf  []*wire.Packet
+	head int
+}
+
+func (q *respQueue) len() int { return len(q.buf) - q.head }
+
+func (q *respQueue) push(p *wire.Packet) { q.buf = append(q.buf, p) }
+
+func (q *respQueue) peek() *wire.Packet { return q.buf[q.head] }
+
+func (q *respQueue) pop() *wire.Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p
+}
+
 // Conn is one Falcon connection's transaction layer.
 type Conn struct {
 	sim    *sim.Simulator
@@ -171,34 +208,56 @@ type Conn struct {
 
 	alpha float64 // α_c from the FAE (dynamic backpressure)
 
+	// pool recycles the request/response packets this connection builds
+	// (nil = heap packets; see wire.PacketPool).
+	pool *wire.PacketPool
+
 	// Initiator state.
 	nextRSN     uint64
-	txns        map[uint64]*txn
+	txns        rsnTable[*txn]
 	releaseRSN  uint64 // next RSN to release to the ULP (ordered)
 	xonCallback func()
 	wasXoff     bool
 
 	// Target state.
 	expectedRSN  uint64
-	reorderBuf   map[uint64]*pendingReq
+	reorderBuf   rsnTable[pendingReq]
 	completedRSN uint64
 
 	// Deferred pull responses awaiting TxResp resources.
-	pendingResponses []*wire.Packet
+	pendingResponses respQueue
 	// sentRespBytes records TxResp byte reservations per RSN so acks
 	// release the exact amount.
-	sentRespBytes map[uint64]int
+	sentRespBytes rsnTable[int]
 	// reqReservations records TxReq byte reservations per RSN. Releases
 	// are driven by packet ACKs, which can arrive after the transaction
 	// itself has completed (the completion horizon can outrun
-	// per-packet ACKs), so this map outlives the txns entry.
-	reqReservations map[uint64]int
+	// per-packet ACKs), so this table outlives the txns entry.
+	reqReservations rsnTable[int]
+
+	// completedApplied is the highest completion horizon already folded
+	// into the txns table; Completed only walks [applied, new horizon)
+	// instead of every live transaction (new transactions always get
+	// RSNs at or above any applied horizon, so nothing below it can be
+	// an unflagged push).
+	completedApplied uint64
+
+	// isNeedy mirrors "this connection's onResourcesFreed would do
+	// something" into the shared Resources needy count, letting Release
+	// skip the whole subscriber fan-out when nobody is waiting.
+	isNeedy bool
 
 	// dead is non-nil once the PDL declared the connection failed.
 	dead error
 
 	// probe, when non-nil, observes serves and completions (verification).
 	probe Probe
+
+	// Free lists and scratch (steady-state allocation avoidance).
+	txnFree      *txn
+	rnrEvents    *rnrRetryEvent
+	readyScratch []uint64
+	reqScratch   pendingReq // processRequest's dequeue slot (see there)
 
 	Stats Stats
 }
@@ -220,14 +279,18 @@ func NewConn(s *sim.Simulator, id uint32, cfg Config, res *Resources, ctrl Contr
 		ctrl:            ctrl,
 		target:          target,
 		alpha:           cfg.StaticAlpha,
-		txns:            make(map[uint64]*txn),
-		reorderBuf:      make(map[uint64]*pendingReq),
-		sentRespBytes:   make(map[uint64]int),
-		reqReservations: make(map[uint64]int),
+		txns:            newRSNTable[*txn](cfg.LegacyHotPath),
+		reorderBuf:      newRSNTable[pendingReq](cfg.LegacyHotPath),
+		sentRespBytes:   newRSNTable[int](cfg.LegacyHotPath),
+		reqReservations: newRSNTable[int](cfg.LegacyHotPath),
 	}
-	res.Subscribe(c.onResourcesFreed)
+	res.subscribeConn(c.onResourcesFreed)
 	return c
 }
+
+// SetPacketPool attaches a packet pool (nil keeps heap packets). Must be
+// called before traffic flows; internal/core wires one pool per cluster.
+func (c *Conn) SetPacketPool(p *wire.PacketPool) { c.pool = p }
 
 // ID returns the connection ID.
 func (c *Conn) ID() uint32 { return c.id }
@@ -274,17 +337,36 @@ func MultiProbe(ps ...Probe) Probe {
 	return out
 }
 
+// allocTxn takes a transaction context from the free list.
+func (c *Conn) allocTxn() *txn {
+	t := c.txnFree
+	if t == nil {
+		return &txn{}
+	}
+	c.txnFree = t.nextFree
+	*t = txn{}
+	return t
+}
+
+// freeTxn recycles a released transaction context, dropping its payload
+// and callback references.
+func (c *Conn) freeTxn(t *txn) {
+	*t = txn{}
+	t.nextFree = c.txnFree
+	c.txnFree = t
+}
+
 // OutstandingTxns reports the initiator-side transactions that have been
 // issued but not yet completed (telemetry gauge).
-func (c *Conn) OutstandingTxns() int { return len(c.txns) }
+func (c *Conn) OutstandingTxns() int { return c.txns.len() }
 
 // PendingResponses reports pull responses deferred on TxResp resource
 // exhaustion (solicitation backlog; telemetry gauge).
-func (c *Conn) PendingResponses() int { return len(c.pendingResponses) }
+func (c *Conn) PendingResponses() int { return c.pendingResponses.len() }
 
 // ReorderBacklog reports target-side requests buffered awaiting in-order
 // delivery (telemetry gauge).
-func (c *Conn) ReorderBacklog() int { return len(c.reorderBuf) }
+func (c *Conn) ReorderBacklog() int { return c.reorderBuf.len() }
 
 // Ordered reports whether the connection delivers and completes in RSN
 // order.
@@ -322,11 +404,11 @@ func (c *Conn) ExpectedRSN() uint64 { return c.expectedRSN }
 
 // BufferedRSNs returns the RSNs held in the target reorder buffer, sorted
 // (diagnostics/verification).
-func (c *Conn) BufferedRSNs() []uint64 { return sortedKeys(c.reorderBuf) }
+func (c *Conn) BufferedRSNs() []uint64 { return c.reorderBuf.sorted() }
 
 // PendingRSNs returns the initiator-side RSNs not yet released to the
 // ULP, sorted (diagnostics/verification).
-func (c *Conn) PendingRSNs() []uint64 { return sortedKeys(c.txns) }
+func (c *Conn) PendingRSNs() []uint64 { return c.txns.sorted() }
 
 // effAlpha returns the connection's DT α under the configured policy.
 func (c *Conn) effAlpha() float64 {
@@ -346,6 +428,28 @@ func (c *Conn) xoffed() bool {
 	return c.res.OverDTThreshold(c.id, c.effAlpha())
 }
 
+// updateNeedy folds this connection's wakeup interest into the shared
+// Resources needy count. A connection with no deferred responses and no
+// Xoff'd ULP does nothing in onResourcesFreed, so Release may skip it.
+func (c *Conn) updateNeedy() {
+	needy := c.dead == nil && (c.wasXoff || c.pendingResponses.len() > 0)
+	if needy != c.isNeedy {
+		c.isNeedy = needy
+		if needy {
+			c.res.needyDelta(1)
+		} else {
+			c.res.needyDelta(-1)
+		}
+	}
+}
+
+// noteXoff records a backpressure refusal (stats plus Xon-edge arming).
+func (c *Conn) noteXoff() {
+	c.Stats.Backpressured++
+	c.wasXoff = true
+	c.updateNeedy()
+}
+
 // Push initiates a push transaction of length bytes (≤ MTU). done fires at
 // completion; its data argument is always nil for pushes. Returns the RSN.
 func (c *Conn) Push(data []byte, length uint32, done func(data []byte, err error)) (uint64, error) {
@@ -362,27 +466,25 @@ func (c *Conn) PushOp(op uint8, addr uint64, data []byte, length uint32, done fu
 		return 0, errors.New("tl: push exceeds MTU; ULP must segment")
 	}
 	if c.xoffed() {
-		c.Stats.Backpressured++
-		c.wasXoff = true
+		c.noteXoff()
 		return 0, ErrBackpressured
 	}
 	// Reserve the request's TX resources and the completion's RX slot up
 	// front (§4.5: responses must always be able to land).
 	if err := c.res.Reserve(PoolTxReq, c.id, int(length)); err != nil {
-		c.Stats.Backpressured++
-		c.wasXoff = true
+		c.noteXoff()
 		return 0, err
 	}
 	if err := c.res.Reserve(PoolRxResp, c.id, 0); err != nil {
 		c.res.Release(PoolTxReq, c.id, int(length))
-		c.Stats.Backpressured++
-		c.wasXoff = true
+		c.noteXoff()
 		return 0, err
 	}
 	rsn := c.nextRSN
 	c.nextRSN++
-	t := &txn{kind: txnPush, rsn: rsn, length: length, ulpOp: op, addr: addr, data: data, done: done}
-	c.txns[rsn] = t
+	t := c.allocTxn()
+	t.kind, t.rsn, t.length, t.ulpOp, t.addr, t.data, t.done = txnPush, rsn, length, op, addr, data, done
+	c.txns.put(rsn, t)
 	c.Stats.Pushes++
 	c.sendRequest(t)
 	return rsn, nil
@@ -411,32 +513,31 @@ func (c *Conn) PullOpData(op uint8, addr uint64, reqData []byte, respLen uint32,
 		return 0, errors.New("tl: pull exceeds MTU; ULP must segment")
 	}
 	if c.xoffed() {
-		c.Stats.Backpressured++
-		c.wasXoff = true
+		c.noteXoff()
 		return 0, ErrBackpressured
 	}
 	if err := c.res.Reserve(PoolTxReq, c.id, len(reqData)); err != nil {
-		c.Stats.Backpressured++
-		c.wasXoff = true
+		c.noteXoff()
 		return 0, err
 	}
 	if err := c.res.Reserve(PoolRxResp, c.id, int(length)); err != nil {
 		c.res.Release(PoolTxReq, c.id, len(reqData))
-		c.Stats.Backpressured++
-		c.wasXoff = true
+		c.noteXoff()
 		return 0, err
 	}
 	rsn := c.nextRSN
 	c.nextRSN++
-	t := &txn{kind: txnPull, rsn: rsn, length: length, ulpOp: op, addr: addr, data: reqData, done: done}
-	c.txns[rsn] = t
+	t := c.allocTxn()
+	t.kind, t.rsn, t.length, t.ulpOp, t.addr, t.data, t.done = txnPull, rsn, length, op, addr, reqData, done
+	c.txns.put(rsn, t)
 	c.Stats.Pulls++
 	c.sendRequest(t)
 	return rsn, nil
 }
 
 func (c *Conn) sendRequest(t *txn) {
-	p := &wire.Packet{RSN: t.rsn, UlpOp: t.ulpOp, Addr: t.addr}
+	p := c.pool.Acquire()
+	p.RSN, p.UlpOp, p.Addr = t.rsn, t.ulpOp, t.addr
 	if c.cfg.Ordered {
 		p.Flags |= wire.FlagOrdered
 	}
@@ -445,13 +546,13 @@ func (c *Conn) sendRequest(t *txn) {
 		p.Type = wire.TypePushData
 		p.Length = t.length
 		p.Data = t.data
-		c.reqReservations[t.rsn] = int(t.length)
+		c.reqReservations.put(t.rsn, int(t.length))
 	case txnPull:
 		p.Type = wire.TypePullRequest
 		p.PullLength = t.length
 		p.Data = t.data
 		p.Length = uint32(len(t.data))
-		c.reqReservations[t.rsn] = len(t.data)
+		c.reqReservations.put(t.rsn, len(t.data))
 	}
 	c.ctrl.SendPacket(p)
 }
@@ -464,6 +565,7 @@ func (c *Conn) onResourcesFreed() {
 	c.drainPendingResponses()
 	if c.wasXoff && !c.xoffed() && c.xonCallback != nil {
 		c.wasXoff = false
+		c.updateNeedy()
 		c.xonCallback()
 	}
 }

@@ -28,7 +28,7 @@ func (c *Conn) deliverRequest(p *wire.Packet) pdl.DeliverVerdict {
 	if p.RSN < c.expectedRSN && c.cfg.Ordered {
 		return pdl.DeliverVerdict{Kind: pdl.DeliverAccept}
 	}
-	if _, dup := c.reorderBuf[p.RSN]; dup {
+	if c.reorderBuf.has(p.RSN) {
 		return pdl.DeliverVerdict{Kind: pdl.DeliverAccept}
 	}
 
@@ -38,7 +38,13 @@ func (c *Conn) deliverRequest(p *wire.Packet) pdl.DeliverVerdict {
 		return pdl.DeliverVerdict{Kind: pdl.DeliverNoResources}
 	}
 
-	c.reorderBuf[p.RSN] = &pendingReq{pkt: p, bytes: bytes}
+	// Snapshot the packet: the inbound wire packet belongs to the
+	// receive path and may be recycled as soon as this upcall returns,
+	// so the reorder buffer cannot retain the pointer (Data aliasing is
+	// fine — payload slices are never pooled).
+	pr := pendingReq{bytes: bytes}
+	pr.pkt.CopyFrom(p)
+	c.reorderBuf.put(p.RSN, pr)
 	if c.cfg.Ordered {
 		c.drainTargetOrdered()
 	} else {
@@ -51,7 +57,7 @@ func (c *Conn) deliverRequest(p *wire.Packet) pdl.DeliverVerdict {
 // (or an RNR pause) stops it.
 func (c *Conn) drainTargetOrdered() {
 	for {
-		if _, ok := c.reorderBuf[c.expectedRSN]; !ok {
+		if !c.reorderBuf.has(c.expectedRSN) {
 			return
 		}
 		rsn := c.expectedRSN
@@ -61,29 +67,37 @@ func (c *Conn) drainTargetOrdered() {
 	}
 }
 
+// serveAdvance records terminal processing of an RSN at the target: it
+// will never run again, and on ordered connections the in-order horizon
+// moves past it.
+func (c *Conn) serveAdvance(rsn uint64) {
+	if c.probe != nil {
+		c.probe.OnRequestServed(c, rsn)
+	}
+	if c.cfg.Ordered {
+		c.expectedRSN = rsn + 1
+		c.completedRSN = c.expectedRSN
+	}
+}
+
 // processRequest runs the ULP handler for a buffered request. It returns
 // false when the request hit RNR and must be retried by the initiator.
 func (c *Conn) processRequest(rsn uint64) bool {
-	req := c.reorderBuf[rsn]
-	p := req.pkt
-	delete(c.reorderBuf, rsn)
+	// The dequeued request lands in a per-connection scratch slot rather
+	// than a local: handlers receive &req.pkt, and a local would escape to
+	// the heap on every delivery. The scratch is only live across the
+	// synchronous handler call below — nothing in that call graph can
+	// re-enter processRequest on this connection (requests only arrive
+	// via scheduled HandlePacket events).
+	c.reqScratch, _ = c.reorderBuf.del(rsn)
+	req := &c.reqScratch
+	p := &req.pkt
 	defer c.res.Release(PoolRxReq, c.id, req.bytes)
-
-	advance := func() {
-		// Terminal processing of this RSN: it will never run again.
-		if c.probe != nil {
-			c.probe.OnRequestServed(c, rsn)
-		}
-		if c.cfg.Ordered {
-			c.expectedRSN = rsn + 1
-			c.completedRSN = c.expectedRSN
-		}
-	}
 
 	if c.target == nil {
 		// No ULP attached: treat as a sink (pure delivery benchmark).
 		c.Stats.RequestsServed++
-		advance()
+		c.serveAdvance(rsn)
 		return true
 	}
 
@@ -96,11 +110,11 @@ func (c *Conn) processRequest(rsn uint64) bool {
 			return false
 		case TargetError:
 			c.ctrl.SendExceptionNack(p.Space, p.PSN, rsn, wire.NackCIE, 0)
-			advance()
+			c.serveAdvance(rsn)
 			return true
 		default:
 			c.Stats.RequestsServed++
-			advance()
+			c.serveAdvance(rsn)
 			return true
 		}
 	case wire.TypePullRequest:
@@ -111,21 +125,21 @@ func (c *Conn) processRequest(rsn uint64) bool {
 			return false
 		case TargetError:
 			c.ctrl.SendExceptionNack(p.Space, p.PSN, rsn, wire.NackCIE, 0)
-			advance()
+			c.serveAdvance(rsn)
 			return true
 		case TargetAsync:
 			// Response produced later via CompletePull.
 			c.Stats.RequestsServed++
-			advance()
+			c.serveAdvance(rsn)
 			return true
 		default:
 			c.Stats.RequestsServed++
-			advance()
+			c.serveAdvance(rsn)
 			c.sendPullResponse(rsn, data, length)
 			return true
 		}
 	default:
-		advance()
+		c.serveAdvance(rsn)
 		return true
 	}
 }
@@ -133,30 +147,31 @@ func (c *Conn) processRequest(rsn uint64) bool {
 // sendPullResponse transmits (or defers, under TxResp pressure) the
 // response carrying the pulled data.
 func (c *Conn) sendPullResponse(rsn uint64, data []byte, length uint32) {
-	resp := &wire.Packet{
-		Type:   wire.TypePullResponse,
-		RSN:    rsn,
-		Length: length,
-		Data:   data,
-	}
+	resp := c.pool.Acquire()
+	resp.Type = wire.TypePullResponse
+	resp.RSN = rsn
+	resp.Length = length
+	resp.Data = data
 	if err := c.res.Reserve(PoolTxResp, c.id, int(length)); err != nil {
 		// Defer until resources free up; the initiator's RTO/TLP keeps
 		// the transaction alive meanwhile.
-		c.pendingResponses = append(c.pendingResponses, resp)
+		c.pendingResponses.push(resp)
+		c.updateNeedy()
 		return
 	}
-	c.sentRespBytes[rsn] = int(length)
+	c.sentRespBytes.put(rsn, int(length))
 	c.ctrl.SendPacket(resp)
 }
 
 func (c *Conn) drainPendingResponses() {
-	for len(c.pendingResponses) > 0 {
-		resp := c.pendingResponses[0]
+	for c.pendingResponses.len() > 0 {
+		resp := c.pendingResponses.peek()
 		if err := c.res.Reserve(PoolTxResp, c.id, int(resp.Length)); err != nil {
 			return
 		}
-		c.pendingResponses = c.pendingResponses[1:]
-		c.sentRespBytes[resp.RSN] = int(resp.Length)
+		c.pendingResponses.pop()
+		c.updateNeedy()
+		c.sentRespBytes.put(resp.RSN, int(resp.Length))
 		c.ctrl.SendPacket(resp)
 	}
 }
@@ -169,7 +184,7 @@ func (c *Conn) CompletePull(rsn uint64, data []byte, length uint32) {
 
 // deliverResponse is the initiator-side pull-response path.
 func (c *Conn) deliverResponse(p *wire.Packet) {
-	t, ok := c.txns[p.RSN]
+	t, ok := c.txns.get(p.RSN)
 	if !ok || t.kind != txnPull || t.finished {
 		return // duplicate or stale
 	}
@@ -184,8 +199,7 @@ func (c *Conn) deliverResponse(p *wire.Packet) {
 func (c *Conn) PacketAcked(space wire.Space, psn uint32, rsn uint64, typ wire.Type) {
 	if space == wire.SpaceResponse {
 		// A pull response we sent as target was delivered.
-		if bytes, ok := c.sentRespBytes[rsn]; ok {
-			delete(c.sentRespBytes, rsn)
+		if bytes, ok := c.sentRespBytes.del(rsn); ok {
 			c.res.Release(PoolTxResp, c.id, bytes)
 		}
 		return
@@ -193,11 +207,10 @@ func (c *Conn) PacketAcked(space wire.Space, psn uint32, rsn uint64, typ wire.Ty
 	// Release the request's TX reservation regardless of transaction
 	// state: the completion horizon can finish a transaction before its
 	// per-packet ACK lands.
-	if bytes, ok := c.reqReservations[rsn]; ok {
-		delete(c.reqReservations, rsn)
+	if bytes, ok := c.reqReservations.del(rsn); ok {
 		c.res.Release(PoolTxReq, c.id, bytes)
 	}
-	t, ok := c.txns[rsn]
+	t, ok := c.txns.get(rsn)
 	if !ok || t.pktAcked {
 		return
 	}
@@ -218,17 +231,75 @@ func (c *Conn) Completed(completedRSN uint64) {
 	if !c.cfg.Ordered {
 		return
 	}
-	for rsn, t := range c.txns {
-		if rsn < completedRSN && t.kind == txnPush && !t.finished {
+	if c.cfg.LegacyHotPath {
+		c.completedScanLegacy(completedRSN)
+		c.tryRelease()
+		return
+	}
+	// Bounded horizon walk: everything below completedApplied was
+	// flagged by an earlier call (new transactions always receive RSNs
+	// at or above any applied horizon), everything below releaseRSN has
+	// left the table, and nothing at or above nextRSN exists yet. The
+	// legacy scan ranges the whole map instead; both are pure flag
+	// stores, so iteration order cannot diverge the trace.
+	hi := completedRSN
+	if c.nextRSN < hi {
+		hi = c.nextRSN
+	}
+	lo := c.completedApplied
+	if c.releaseRSN > lo {
+		lo = c.releaseRSN
+	}
+	for rsn := lo; rsn < hi; rsn++ {
+		if t, ok := c.txns.get(rsn); ok && t.kind == txnPush && !t.finished {
 			t.finished = true
 		}
+	}
+	if hi > c.completedApplied {
+		c.completedApplied = hi
 	}
 	c.tryRelease()
 }
 
+// rnrRetryEvent retries a transaction after an RNR delay (or a local
+// reserve failure). It re-looks the transaction up by RSN at fire time:
+// RSNs are never reused, so a lookup miss means the transaction was
+// released meanwhile — exactly the case the released guard in
+// retryTransaction covered when the event captured the pointer directly
+// (and a pointer capture would now be unsound anyway: released contexts
+// recycle through the free list under fresh RSNs). Fired events recycle
+// through the connection's free list too.
+type rnrRetryEvent struct {
+	c    *Conn
+	rsn  uint64
+	next *rnrRetryEvent
+}
+
+func (e *rnrRetryEvent) RunAction() {
+	c, rsn := e.c, e.rsn
+	e.c = nil
+	e.next = c.rnrEvents
+	c.rnrEvents = e
+	if t, ok := c.txns.get(rsn); ok {
+		c.retryTransaction(t)
+	}
+}
+
+// scheduleRetry arms a pooled retry event for rsn after d.
+func (c *Conn) scheduleRetry(rsn uint64, d time.Duration) {
+	e := c.rnrEvents
+	if e == nil {
+		e = &rnrRetryEvent{}
+	} else {
+		c.rnrEvents = e.next
+	}
+	e.c, e.rsn, e.next = c, rsn, nil
+	c.sim.AtAction(c.sim.Now().Add(d), e)
+}
+
 // NackReceived is the PDL's upcall for RNR/CIE exception NACKs.
 func (c *Conn) NackReceived(p *wire.Packet) {
-	t, ok := c.txns[p.RSN]
+	t, ok := c.txns.get(p.RSN)
 	if !ok || t.finished {
 		return
 	}
@@ -239,7 +310,7 @@ func (c *Conn) NackReceived(p *wire.Packet) {
 		// completing the transaction (unordered pushes complete on ack).
 		t.retrying = true
 		c.Stats.RNRRetries++
-		c.sim.After(time.Duration(p.RetryDelayNs), func() { c.retryTransaction(t) })
+		c.scheduleRetry(t.rsn, time.Duration(p.RetryDelayNs))
 	case wire.NackCIE:
 		t.finished = true
 		t.err = ErrCIE
@@ -260,7 +331,7 @@ func (c *Conn) retryTransaction(t *txn) {
 	if err := c.res.Reserve(PoolTxReq, c.id, bytes); err != nil {
 		// Pool pressure: retry again shortly rather than dropping the
 		// transaction.
-		c.sim.After(50*time.Microsecond, func() { c.retryTransaction(t) })
+		c.scheduleRetry(t.rsn, 50*time.Microsecond)
 		return
 	}
 	t.pktAcked = false
@@ -279,17 +350,13 @@ func (c *Conn) Fail(err error) {
 		err = ErrConnDead
 	}
 	c.dead = err
+	c.updateNeedy()
 	// Error all initiator-side transactions, bypassing ordered release.
 	// Sorted so error completions reach the ULP in RSN order rather than
 	// map-iteration order (determinism).
-	rsns := make([]uint64, 0, len(c.txns))
-	for rsn := range c.txns {
-		rsns = append(rsns, rsn)
-	}
-	slices.Sort(rsns)
-	for _, rsn := range rsns {
-		t := c.txns[rsn]
-		if t == nil || t.released {
+	for _, rsn := range c.txns.sorted() {
+		t, ok := c.txns.get(rsn)
+		if !ok || t.released {
 			continue
 		}
 		t.finished = true
@@ -300,32 +367,28 @@ func (c *Conn) Fail(err error) {
 	}
 	// Return TX reservations whose ACKs will never arrive. Release fires
 	// Xon subscribers, so these loops also run in sorted RSN order.
-	for _, rsn := range sortedKeys(c.reqReservations) {
-		c.res.Release(PoolTxReq, c.id, c.reqReservations[rsn])
-		delete(c.reqReservations, rsn)
+	for _, rsn := range c.reqReservations.sorted() {
+		bytes, _ := c.reqReservations.del(rsn)
+		c.res.Release(PoolTxReq, c.id, bytes)
 	}
-	for _, rsn := range sortedKeys(c.sentRespBytes) {
-		c.res.Release(PoolTxResp, c.id, c.sentRespBytes[rsn])
-		delete(c.sentRespBytes, rsn)
+	for _, rsn := range c.sentRespBytes.sorted() {
+		bytes, _ := c.sentRespBytes.del(rsn)
+		c.res.Release(PoolTxResp, c.id, bytes)
 	}
 	// Drop target-side reorder buffers (their RxReq reservations).
-	for _, rsn := range sortedKeys(c.reorderBuf) {
-		c.res.Release(PoolRxReq, c.id, c.reorderBuf[rsn].bytes)
-		delete(c.reorderBuf, rsn)
+	for _, rsn := range c.reorderBuf.sorted() {
+		pr, _ := c.reorderBuf.del(rsn)
+		c.res.Release(PoolRxReq, c.id, pr.bytes)
 	}
-	c.pendingResponses = nil
+	// Deferred responses will never send; their packets go back to the
+	// pool.
+	for c.pendingResponses.len() > 0 {
+		c.pool.Release(c.pendingResponses.pop())
+	}
 }
 
-// sortedKeys returns the map's keys in ascending order, for deterministic
-// iteration where side effects (callbacks) escape the loop.
-func sortedKeys[V any](m map[uint64]V) []uint64 {
-	keys := make([]uint64, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	slices.Sort(keys)
-	return keys
-}
+// sortRSNs orders an RSN slice ascending (the legacy collection pass).
+func sortRSNs(rsns []uint64) { slices.Sort(rsns) }
 
 // Dead returns the terminal error, or nil while the connection is live.
 func (c *Conn) Dead() error { return c.dead }
@@ -335,7 +398,7 @@ func (c *Conn) Dead() error { return c.dead }
 func (c *Conn) tryRelease() {
 	if c.cfg.Ordered {
 		for {
-			t, ok := c.txns[c.releaseRSN]
+			t, ok := c.txns.get(c.releaseRSN)
 			if !ok || !t.finished {
 				return
 			}
@@ -344,21 +407,28 @@ func (c *Conn) tryRelease() {
 		}
 	}
 	// Unordered completions are "immediate" but must still fire in a
-	// deterministic order: ranging over the map directly would invoke ULP
-	// callbacks in Go's randomized iteration order, so two runs with the
-	// same seed could schedule follow-on work differently.
-	var ready []uint64
-	for rsn, t := range c.txns {
-		if t.finished && !t.released {
-			ready = append(ready, rsn)
+	// deterministic order, fixed by a collection pass before any ULP
+	// callback runs (completions can start new transactions mid-loop).
+	// The scratch is detached while in use so a reentrant call cannot
+	// clobber the list being walked.
+	ready := c.readyScratch
+	c.readyScratch = nil
+	ready = ready[:0]
+	if c.cfg.LegacyHotPath {
+		ready = c.collectReadyLegacy(ready)
+	} else {
+		for rsn := c.txns.lowBound(); rsn < c.txns.high; rsn++ {
+			if t, ok := c.txns.get(rsn); ok && t.finished && !t.released {
+				ready = append(ready, rsn)
+			}
 		}
 	}
-	slices.Sort(ready)
 	for _, rsn := range ready {
-		if t, ok := c.txns[rsn]; ok && !t.released {
+		if t, ok := c.txns.get(rsn); ok && !t.released {
 			c.release(t)
 		}
 	}
+	c.readyScratch = ready[:0]
 }
 
 func (c *Conn) release(t *txn) {
@@ -371,16 +441,21 @@ func (c *Conn) release(t *txn) {
 		respBytes = int(t.length)
 	}
 	c.res.Release(PoolRxResp, c.id, respBytes)
-	delete(c.txns, t.rsn)
-	if t.err != nil {
+	c.txns.del(t.rsn)
+	// The context recycles as soon as the table forgets it; the
+	// completion fires from locals so a reentrant initiation inside the
+	// ULP callback can reuse it safely.
+	rsn, respData, terr, done := t.rsn, t.respData, t.err, t.done
+	if terr != nil {
 		c.Stats.CompletedError++
 	} else {
 		c.Stats.CompletedOK++
 	}
+	c.freeTxn(t)
 	if c.probe != nil {
-		c.probe.OnCompletion(c, t.rsn, t.err)
+		c.probe.OnCompletion(c, rsn, terr)
 	}
-	if t.done != nil {
-		t.done(t.respData, t.err)
+	if done != nil {
+		done(respData, terr)
 	}
 }

@@ -78,13 +78,40 @@ func DefaultResourceConfig() ResourceConfig {
 // ErrNoResources reports pool exhaustion at admission.
 var ErrNoResources = errors.New("tl: resource pool exhausted")
 
+// connInts is a per-connection counter table indexed directly by
+// connection ID (IDs are small and dense — the NIC assigns them
+// sequentially), replacing the map[uint32]int lookups that dominated
+// Reserve/Release profiles. Absent IDs read as zero, matching the map's
+// delete-at-zero behavior.
+type connInts []int
+
+func (s *connInts) at(conn uint32) int {
+	if int(conn) >= len(*s) {
+		return 0
+	}
+	return (*s)[conn]
+}
+
+func (s *connInts) add(conn uint32, d int) {
+	for int(conn) >= len(*s) {
+		n := len(*s) * 2
+		if n < 64 {
+			n = 64
+		}
+		grown := make([]int, n)
+		copy(grown, *s)
+		*s = grown
+	}
+	(*s)[conn] += d
+}
+
 type pool struct {
 	cfg          PoolConfig
 	usedContexts int
 	usedBytes    int
 	// Per-connection holdings within this pool (DT isolation inputs).
-	connCtx   map[uint32]int
-	connBytes map[uint32]int
+	connCtx   connInts
+	connBytes connInts
 }
 
 func (p *pool) tryReserve(bytes int) bool {
@@ -127,26 +154,47 @@ type Resources struct {
 
 	// perConn and perConnBytes track contexts and buffer bytes held per
 	// connection, the inputs to dynamic-threshold isolation (§4.6).
-	perConn      map[uint32]int
-	perConnBytes map[uint32]int
+	perConn      connInts
+	perConnBytes connInts
 
 	// onRelease subscribers are notified when resources free up
 	// (the Xon edge for backpressured ULPs).
-	onRelease []func()
+	onRelease []releaseSub
+	// alwaysRun counts subscribers registered through the public
+	// Subscribe: their neediness is unknown, so they fire on every
+	// release.
+	alwaysRun int
+
+	// needy counts subscribed connections whose callback would currently
+	// do real work (a deferred response to drain or an Xoff'd ULP to
+	// wake). When zero, Release skips the connection fan-out entirely —
+	// the common case on the hot path, where every packet ack used to
+	// pay a call per connection in the cluster. When non-zero, ALL
+	// subscribers still run in subscription order (the needy set is not
+	// tracked per-callback), so observable callback order is unchanged.
+	needy int
+
+	// legacy disables the needy skip, restoring the unconditional
+	// fan-out as the verification oracle.
+	legacy bool
 }
 
 // NewResources builds the resource manager.
 func NewResources(cfg ResourceConfig) *Resources {
-	r := &Resources{cfg: cfg, perConn: make(map[uint32]int), perConnBytes: make(map[uint32]int)}
+	r := &Resources{cfg: cfg}
 	for i := range r.pools {
-		r.pools[i] = &pool{
-			cfg:       cfg.Pools[i],
-			connCtx:   make(map[uint32]int),
-			connBytes: make(map[uint32]int),
-		}
+		r.pools[i] = &pool{cfg: cfg.Pools[i]}
 	}
 	return r
 }
+
+// SetLegacy restores the unconditional Release fan-out (the pre-dense
+// behavior); used by the equivalence oracle.
+func (r *Resources) SetLegacy(v bool) { r.legacy = v }
+
+// needyDelta adjusts the count of connections awaiting a release
+// notification (see Conn.updateNeedy).
+func (r *Resources) needyDelta(d int) { r.needy += d }
 
 // Reserve takes one context plus bytes from the pool on behalf of conn.
 func (r *Resources) Reserve(k PoolKind, conn uint32, bytes int) error {
@@ -154,10 +202,10 @@ func (r *Resources) Reserve(k PoolKind, conn uint32, bytes int) error {
 	if !p.tryReserve(bytes) {
 		return fmt.Errorf("%w: %v", ErrNoResources, k)
 	}
-	p.connCtx[conn]++
-	p.connBytes[conn] += bytes
-	r.perConn[conn]++
-	r.perConnBytes[conn] += bytes
+	p.connCtx.add(conn, 1)
+	p.connBytes.add(conn, bytes)
+	r.perConn.add(conn, 1)
+	r.perConnBytes.add(conn, bytes)
 	return nil
 }
 
@@ -165,28 +213,20 @@ func (r *Resources) Reserve(k PoolKind, conn uint32, bytes int) error {
 func (r *Resources) Release(k PoolKind, conn uint32, bytes int) {
 	p := r.pools[k]
 	p.release(bytes)
-	if n := p.connCtx[conn]; n > 1 {
-		p.connCtx[conn] = n - 1
-	} else {
-		delete(p.connCtx, conn)
-	}
-	if b := p.connBytes[conn]; b > bytes {
-		p.connBytes[conn] = b - bytes
-	} else {
-		delete(p.connBytes, conn)
-	}
-	if n := r.perConn[conn]; n > 1 {
-		r.perConn[conn] = n - 1
-	} else {
-		delete(r.perConn, conn)
-	}
-	if b := r.perConnBytes[conn]; b > bytes {
-		r.perConnBytes[conn] = b - bytes
-	} else {
-		delete(r.perConnBytes, conn)
-	}
-	for _, fn := range r.onRelease {
-		fn()
+	p.connCtx.add(conn, -1)
+	p.connBytes.add(conn, -bytes)
+	r.perConn.add(conn, -1)
+	r.perConnBytes.add(conn, -bytes)
+	if r.legacy || r.needy > 0 {
+		for _, s := range r.onRelease {
+			s.fn()
+		}
+	} else if r.alwaysRun > 0 {
+		for _, s := range r.onRelease {
+			if !s.skippable {
+				s.fn()
+			}
+		}
 	}
 }
 
@@ -215,10 +255,10 @@ func (r *Resources) FreeContexts() int {
 }
 
 // ConnUsage returns the contexts currently held by conn.
-func (r *Resources) ConnUsage(conn uint32) int { return r.perConn[conn] }
+func (r *Resources) ConnUsage(conn uint32) int { return r.perConn.at(conn) }
 
 // ConnBytes returns the buffer bytes currently held by conn.
-func (r *Resources) ConnBytes(conn uint32) int { return r.perConnBytes[conn] }
+func (r *Resources) ConnBytes(conn uint32) int { return r.perConnBytes.at(conn) }
 
 // OverDTThreshold applies the dynamic-threshold rule per pool (§4.6): the
 // connection is over-threshold if in ANY pool its holdings exceed
@@ -228,11 +268,11 @@ func (r *Resources) ConnBytes(conn uint32) int { return r.perConnBytes[conn] }
 func (r *Resources) OverDTThreshold(conn uint32, alpha float64) bool {
 	for _, p := range r.pools {
 		freeCtx := float64(p.cfg.Contexts - p.usedContexts)
-		if float64(p.connCtx[conn]) > alpha*freeCtx {
+		if float64(p.connCtx.at(conn)) > alpha*freeCtx {
 			return true
 		}
 		freeBytes := float64(p.cfg.Bytes - p.usedBytes)
-		if float64(p.connBytes[conn]) > alpha*freeBytes {
+		if float64(p.connBytes.at(conn)) > alpha*freeBytes {
 			return true
 		}
 	}
@@ -250,5 +290,22 @@ func (r *Resources) AdmitRxRequest(conn uint32, bytes int, headOfLine bool) erro
 	return r.Reserve(PoolRxReq, conn, bytes)
 }
 
+// releaseSub is one release subscriber. Skippable subscribers (TL
+// connections) keep the shared needy count accurate and may be skipped
+// when it is zero; others always run.
+type releaseSub struct {
+	fn        func()
+	skippable bool
+}
+
 // Subscribe registers a callback invoked whenever resources are released.
-func (r *Resources) Subscribe(fn func()) { r.onRelease = append(r.onRelease, fn) }
+func (r *Resources) Subscribe(fn func()) {
+	r.onRelease = append(r.onRelease, releaseSub{fn: fn})
+	r.alwaysRun++
+}
+
+// subscribeConn registers a connection's release callback; the connection
+// maintains the needy count that lets Release skip it when idle.
+func (r *Resources) subscribeConn(fn func()) {
+	r.onRelease = append(r.onRelease, releaseSub{fn: fn, skippable: true})
+}

@@ -1,0 +1,63 @@
+package tl
+
+// Map-backed rsnTable operations plus the map-iteration scans the legacy
+// hot path uses. This file is the only one in the TL allowed to index or
+// range over per-RSN maps (the AST lint in internal/testkit exempts it):
+// the legacy backend exists as the verification oracle for the dense
+// tables, mirroring pdl's LegacyHotPath scan loops.
+
+func (t *rsnTable[T]) getMap(rsn uint64) (T, bool) {
+	v, ok := t.m[rsn]
+	return v, ok
+}
+
+func (t *rsnTable[T]) hasMap(rsn uint64) bool {
+	_, ok := t.m[rsn]
+	return ok
+}
+
+func (t *rsnTable[T]) putMap(rsn uint64, v T) { t.m[rsn] = v }
+
+func (t *rsnTable[T]) delMap(rsn uint64) (T, bool) {
+	v, ok := t.m[rsn]
+	if ok {
+		delete(t.m, rsn)
+	}
+	return v, ok
+}
+
+// completedScanLegacy is the original Completed walk: range the whole
+// transaction map and flag pushes below the horizon. Iteration order is
+// irrelevant (flag stores only), which is what makes the dense path's
+// bounded horizon walk trace-equivalent.
+func (c *Conn) completedScanLegacy(completedRSN uint64) {
+	for rsn, t := range c.txns.m {
+		if rsn < completedRSN && t.kind == txnPush && !t.finished {
+			t.finished = true
+		}
+	}
+}
+
+// collectReadyLegacy is the original unordered-completion collection:
+// range the map for finished transactions, then sort (the sort re-imposes
+// the determinism map order lacks).
+func (c *Conn) collectReadyLegacy(ready []uint64) []uint64 {
+	for rsn, t := range c.txns.m {
+		if t.finished && !t.released {
+			ready = append(ready, rsn)
+		}
+	}
+	sortRSNs(ready)
+	return ready
+}
+
+// sortedKeys returns the map's keys in ascending order, for deterministic
+// iteration where side effects (callbacks) escape the loop.
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortRSNs(keys)
+	return keys
+}

@@ -92,6 +92,28 @@ func (m Bitmap) HighestSet() int {
 // IsZero reports whether no bits are set.
 func (m Bitmap) IsZero() bool { return m[0] == 0 && m[1] == 0 }
 
+// LowMask returns a bitmap with bits 0..n-1 set. n is clamped to
+// [0, BitmapBits]. Scoreboard scans use it to bound word-at-a-time
+// iteration to the live [base, next) window.
+func LowMask(n int) Bitmap {
+	switch {
+	case n <= 0:
+		return Bitmap{}
+	case n < 64:
+		return Bitmap{1<<uint(n) - 1, 0}
+	case n == 64:
+		return Bitmap{^uint64(0), 0}
+	case n < BitmapBits:
+		return Bitmap{^uint64(0), 1<<uint(n-64) - 1}
+	}
+	return Bitmap{^uint64(0), ^uint64(0)}
+}
+
+// AndNot returns m &^ o: the bits set in m and clear in o.
+func (m Bitmap) AndNot(o Bitmap) Bitmap {
+	return Bitmap{m[0] &^ o[0], m[1] &^ o[1]}
+}
+
 func (m Bitmap) String() string {
 	if m.IsZero() {
 		return "[empty]"

@@ -1,0 +1,88 @@
+package wire
+
+// Transport packet pooling: the per-packet envelope objects the PDL and TL
+// exchange with the NIC are recycled through a free list, mirroring
+// internal/netsim's FramePool one layer up the stack (DESIGN.md §11). The
+// ownership contract is linear:
+//
+//   - The TL acquires data packets, fills them in, and hands them to
+//     pdl.Conn.SendPacket. From that point the PDL owns the packet — it
+//     retains it across retransmissions — and releases it exactly once,
+//     when the packet is acknowledged (or when the connection fails).
+//   - The PDL acquires ACK/NACK packets, hands them to Callbacks.Send, and
+//     releases them as soon as Send returns: Send implementations must
+//     snapshot the packet synchronously (internal/core copies it into a
+//     fresh pooled packet for the fabric) and must not retain the pointer.
+//   - On the receive side, internal/core acquires the in-flight fabric
+//     copy at transmit time and releases it after HandlePacket returns.
+//     Consumers that hold packet state past return — the TL's target-side
+//     reorder buffer — copy the packet by value first ("copy on hold").
+//     Data payloads are never pooled, so retaining p.Data remains safe.
+//
+// Packets built by hand (&Packet{...}, as tests and the examples do) never
+// enter a pool: Release ignores them, preserving their semantics.
+
+// packetPoolBlock sizes the free-list refill batch; block allocation
+// amortizes pool growth to zero allocations per packet in steady state.
+const packetPoolBlock = 64
+
+// PacketPool recycles Packet objects through the transport hot path. It is
+// not safe for concurrent use: one pool belongs to one simulator's world
+// (internal/core keeps one per Cluster).
+type PacketPool struct {
+	free []*Packet
+	// legacy restores the pre-pooling behaviour (fresh heap packet per
+	// Acquire, Release a no-op) as a verification oracle; see
+	// core.Cluster.SetLegacyHotPath.
+	legacy bool
+}
+
+// NewPacketPool returns an empty pool.
+func NewPacketPool() *PacketPool { return &PacketPool{} }
+
+// SetLegacy switches the pool to the heap-allocating oracle mode (true) or
+// back to recycling (false). Packets already handed out are unaffected:
+// Release consults only the packet's own pooled mark.
+func (p *PacketPool) SetLegacy(legacy bool) { p.legacy = legacy }
+
+// Acquire returns a zeroed packet owned by the caller until it is released
+// (directly or by the layer the caller hands it to; see the ownership
+// contract above).
+func (p *PacketPool) Acquire() *Packet {
+	if p == nil || p.legacy {
+		return &Packet{}
+	}
+	n := len(p.free)
+	if n == 0 {
+		blk := make([]Packet, packetPoolBlock)
+		for i := range blk {
+			blk[i].pooled = true
+			p.free = append(p.free, &blk[i])
+		}
+		n = len(p.free)
+	}
+	pk := p.free[n-1]
+	p.free = p.free[:n-1]
+	return pk
+}
+
+// Release returns a pooled packet to the free list, zeroing it (a recycled
+// packet must not leak the previous packet's payload reference, bitmap
+// state or flags). Packets not obtained from Acquire are ignored, so
+// callers may release unconditionally.
+func (p *PacketPool) Release(pk *Packet) {
+	if p == nil || pk == nil || !pk.pooled {
+		return
+	}
+	*pk = Packet{pooled: true}
+	p.free = append(p.free, pk)
+}
+
+// CopyFrom copies every wire field of src into p while preserving p's own
+// pool membership. Plain assignment (*p = *src) would overwrite the pooled
+// mark and silently remove p from its pool on release.
+func (p *Packet) CopyFrom(src *Packet) {
+	pooled := p.pooled
+	*p = *src
+	p.pooled = pooled
+}

@@ -263,6 +263,11 @@ type Packet struct {
 	// Data optionally carries the payload bytes (may be nil even when
 	// Length > 0; the simulator models size without materializing bytes).
 	Data []byte
+
+	// pooled marks packets obtained from a PacketPool; it is not a wire
+	// field (Marshal ignores it, Unmarshal and CopyFrom preserve it) and
+	// hand-built packets leave it false so Release ignores them.
+	pooled bool
 }
 
 // headerLen is the fixed marshaled header size in bytes.

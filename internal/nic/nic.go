@@ -94,10 +94,14 @@ type NIC struct {
 	cfg Config
 
 	globalFree sim.Time
-	connFree   map[uint32]sim.Time
-	// connDone enforces in-order completion per connection: a cheap
-	// lookup must not let a later packet finish before an earlier one.
-	connDone map[uint32]sim.Time
+	// connFree and connDone are indexed by connection ID. Connection IDs
+	// are dense small integers assigned by core.Cluster, so a grown-on-
+	// demand slice replaces the former map: the per-packet admission path
+	// does two array loads instead of two map probes. connDone enforces
+	// in-order completion per connection: a cheap lookup must not let a
+	// later packet finish before an earlier one.
+	connFree []sim.Time
+	connDone []sim.Time
 
 	cache   *connCache
 	l2cache *connCache
@@ -107,12 +111,15 @@ type NIC struct {
 	rxQueued  int // bytes awaiting host delivery
 	rxSpilled int // bytes currently spilled to DRAM
 
+	// hostEvents is the free list of pooled host-delivery completions.
+	hostEvents *hostEvent
+
 	Stats Stats
 }
 
 // New creates a NIC bound to the simulator.
 func New(s *sim.Simulator, cfg Config) *NIC {
-	n := &NIC{sim: s, cfg: cfg, connFree: make(map[uint32]sim.Time), connDone: make(map[uint32]sim.Time)}
+	n := &NIC{sim: s, cfg: cfg}
 	if cfg.CacheSize > 0 {
 		n.cache = newConnCache(cfg.CacheSize)
 	}
@@ -120,6 +127,16 @@ func New(s *sim.Simulator, cfg Config) *NIC {
 		n.l2cache = newConnCache(cfg.L2CacheSize)
 	}
 	return n
+}
+
+// connSlot returns &slice[conn], growing the slice as connections appear.
+func connSlot(s *[]sim.Time, conn uint32) *sim.Time {
+	if int(conn) >= len(*s) {
+		grown := make([]sim.Time, int(conn)+16)
+		copy(grown, *s)
+		*s = grown
+	}
+	return &(*s)[conn]
 }
 
 // lookupCost models the connection-state fetch for one packet.
@@ -144,10 +161,9 @@ func (n *NIC) lookupCost(conn uint32) time.Duration {
 	return n.cfg.MissCost
 }
 
-// Process schedules fn after the NIC pipeline has processed one packet for
-// conn: per-connection and global serialization plus the connection-state
-// lookup. Used for both TX and RX passes.
-func (n *NIC) Process(conn uint32, fn func()) {
+// admit runs the pipeline admission bookkeeping for one packet of conn and
+// returns the virtual time its processing completes.
+func (n *NIC) admit(conn uint32) sim.Time {
 	now := n.sim.Now()
 	// The global pipe admits packets at its own cadence; a connection
 	// whose private pipeline is busy must not hold the global cursor
@@ -160,19 +176,36 @@ func (n *NIC) Process(conn uint32, fn func()) {
 	n.globalFree = gStart.Add(n.cfg.GlobalPacketInterval)
 	// Per-connection serialization applies after global admission.
 	start := gStart
-	if cf := n.connFree[conn]; cf > start {
+	cf := connSlot(&n.connFree, conn)
+	if *cf > start {
 		n.Stats.ConnWait += cf.Sub(start)
-		start = cf
+		start = *cf
 	}
 	cost := n.lookupCost(conn)
 	done := start.Add(cost)
-	if prev := n.connDone[conn]; done < prev {
-		done = prev
+	cd := connSlot(&n.connDone, conn)
+	if done < *cd {
+		done = *cd
 	}
-	n.connDone[conn] = done
-	n.connFree[conn] = start.Add(n.cfg.PerConnPacketInterval)
+	*cd = done
+	*cf = start.Add(n.cfg.PerConnPacketInterval)
 	n.Stats.PacketsProcessed++
-	n.sim.At(done, fn)
+	return done
+}
+
+// Process schedules fn after the NIC pipeline has processed one packet for
+// conn: per-connection and global serialization plus the connection-state
+// lookup. Used for both TX and RX passes.
+func (n *NIC) Process(conn uint32, fn func()) {
+	n.sim.At(n.admit(conn), fn)
+}
+
+// ProcessAction is Process with a typed callback: per-packet callers keep
+// the path allocation-free by scheduling a pooled sim.Action instead of a
+// capture closure. Admission bookkeeping and delivery order are identical
+// to Process.
+func (n *NIC) ProcessAction(conn uint32, a sim.Action) {
+	n.sim.AtAction(n.admit(conn), a)
 }
 
 // DeliverToHost models payload DMA to host memory at HostGbps. The bytes
@@ -209,15 +242,40 @@ func (n *NIC) DeliverToHost(bytes int, done func()) {
 	}
 	n.hostFree = finish
 	n.Stats.HostBytes += uint64(bytes)
-	n.sim.At(finish, func() {
-		n.rxQueued -= bytes
-		if spilled {
-			n.rxSpilled -= bytes
-		}
-		if done != nil {
-			done()
-		}
-	})
+	ev := n.hostEvents
+	if ev == nil {
+		ev = &hostEvent{n: n}
+	} else {
+		n.hostEvents = ev.next
+	}
+	ev.bytes, ev.spilled, ev.done = bytes, spilled, done
+	n.sim.AtAction(finish, ev)
+}
+
+// hostEvent is the pooled completion of one DeliverToHost transfer. The
+// common caller (core's payload DMA) passes done == nil, so recycling the
+// event makes host delivery allocation-free.
+type hostEvent struct {
+	n       *NIC
+	bytes   int
+	spilled bool
+	done    func()
+	next    *hostEvent
+}
+
+func (ev *hostEvent) RunAction() {
+	n := ev.n
+	n.rxQueued -= ev.bytes
+	if ev.spilled {
+		n.rxSpilled -= ev.bytes
+	}
+	done := ev.done
+	ev.done = nil
+	ev.next = n.hostEvents
+	n.hostEvents = ev
+	if done != nil {
+		done()
+	}
 }
 
 // RxOccupancy returns the RX packet-buffer occupancy as a fraction of SRAM
@@ -246,29 +304,43 @@ func (n *NIC) SetHostGbps(gbps float64) {
 // HostGbps returns the current host-interface bandwidth.
 func (n *NIC) HostGbps() float64 { return n.cfg.HostGbps }
 
-// connCache is an LRU set of connection IDs.
+// connCache is an LRU set of connection IDs. Membership is a dense slice
+// indexed by connection ID (IDs are small cluster-assigned integers), so
+// the per-packet touch is an array load rather than a map probe.
 type connCache struct {
 	capacity int
 	ll       *list.List
-	items    map[uint32]*list.Element
+	items    []*list.Element
 }
 
 func newConnCache(capacity int) *connCache {
-	return &connCache{capacity: capacity, ll: list.New(), items: make(map[uint32]*list.Element)}
+	return &connCache{capacity: capacity, ll: list.New()}
+}
+
+func (c *connCache) slot(conn uint32) **list.Element {
+	if int(conn) >= len(c.items) {
+		grown := make([]*list.Element, int(conn)+16)
+		copy(grown, c.items)
+		c.items = grown
+	}
+	return &c.items[conn]
 }
 
 // touch reports whether conn is cached, refreshing recency.
 func (c *connCache) touch(conn uint32) bool {
-	if el, ok := c.items[conn]; ok {
-		c.ll.MoveToFront(el)
-		return true
+	if int(conn) < len(c.items) {
+		if el := c.items[conn]; el != nil {
+			c.ll.MoveToFront(el)
+			return true
+		}
 	}
 	return false
 }
 
 // insert adds conn, evicting the LRU entry if needed.
 func (c *connCache) insert(conn uint32) {
-	if el, ok := c.items[conn]; ok {
+	slot := c.slot(conn)
+	if el := *slot; el != nil {
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -276,8 +348,8 @@ func (c *connCache) insert(conn uint32) {
 		back := c.ll.Back()
 		if back != nil {
 			c.ll.Remove(back)
-			delete(c.items, back.Value.(uint32))
+			c.items[back.Value.(uint32)] = nil
 		}
 	}
-	c.items[conn] = c.ll.PushFront(conn)
+	*slot = c.ll.PushFront(conn)
 }

@@ -55,6 +55,19 @@ type Scenario struct {
 	// TestSweepPoolEquivalence).
 	LegacyAlloc bool
 
+	// LegacyHotPath runs the transport with the pre-PR6 hot path — per-PSN
+	// scoreboard loops, map-backed RSN tables, heap packets — as the
+	// verification oracle for the word-level/dense/pooled implementation;
+	// the trace hash must match the optimized run exactly (asserted by
+	// TestSweepHotPathEquivalence).
+	LegacyHotPath bool
+
+	// EagerTimers re-arms the PDL's RTO/TLP timers on every ACK (the
+	// pre-PR6 discipline) instead of lazily batching wakeups. Timer
+	// batching moves scheduler wakeups, so only the protocol-only hash is
+	// comparable (asserted by TestSweepTimerEquivalence).
+	EagerTimers bool
+
 	// Workload shape. Zero values take the defaults noted.
 	Workload Workload
 	Ops      int // transactions to issue (default 200)
@@ -133,9 +146,12 @@ func (sc Scenario) withDefaults() Scenario {
 // Result summarizes one scenario run.
 type Result struct {
 	// TraceHash fingerprints the entire run (see TraceHasher); Records is
-	// the number of trace records folded into it.
-	TraceHash uint64
-	Records   uint64
+	// the number of trace records folded into it. ProtoHash/ProtoRecords
+	// cover protocol records only (no scheduler events).
+	TraceHash    uint64
+	Records      uint64
+	ProtoHash    uint64
+	ProtoRecords uint64
 
 	Issued    int
 	Completed int
@@ -202,6 +218,7 @@ func Run(sc Scenario) Result {
 	rev := topo.ToRs[0].RouteTo(topo.Hosts[0].ID)[0]
 
 	cl := core.NewCluster(s)
+	cl.SetLegacyHotPath(sc.LegacyHotPath)
 	cfgA := core.DefaultNodeConfig()
 	cfgB := core.DefaultNodeConfig()
 	if sc.TinyRxPool {
@@ -214,6 +231,7 @@ func Run(sc Scenario) Result {
 
 	connCfg := core.DefaultConnConfig()
 	connCfg.PDL.NumFlows = sc.NumFlows
+	connCfg.PDL.EagerTimers = sc.EagerTimers
 	connCfg.TL.Ordered = !sc.Unordered
 	epA, epB := cl.Connect(a, b, connCfg)
 
@@ -338,6 +356,8 @@ func Run(sc Scenario) Result {
 
 	res.TraceHash = hasher.Sum64()
 	res.Records = hasher.Records()
+	res.ProtoHash = hasher.ProtoSum64()
+	res.ProtoRecords = hasher.ProtoRecords()
 	res.Served = checker.ServedCount(epB.TL())
 	res.ConnFailed = epA.TL().Dead() != nil || epB.TL().Dead() != nil
 	res.SimTime = s.Now()

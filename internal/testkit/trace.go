@@ -29,6 +29,15 @@ import (
 type TraceHasher struct {
 	h       uint64
 	records uint64
+
+	// ph is a second digest over protocol records only — every tag except
+	// the scheduler's 'E' events. Two runs that differ in event-queue
+	// mechanics (e.g. eager vs lazily-batched timers, which wake at
+	// different instants but act identically) diverge on Sum64 while
+	// agreeing on ProtoSum64; the timer-equivalence sweep asserts the
+	// latter.
+	ph           uint64
+	protoRecords uint64
 }
 
 // FNV-1a 64-bit parameters.
@@ -48,7 +57,7 @@ const (
 )
 
 // NewTraceHasher returns an empty hasher.
-func NewTraceHasher() *TraceHasher { return &TraceHasher{h: fnvOffset64} }
+func NewTraceHasher() *TraceHasher { return &TraceHasher{h: fnvOffset64, ph: fnvOffset64} }
 
 // write folds one record into the digest.
 func (t *TraceHasher) write(tag byte, fields ...uint64) {
@@ -63,6 +72,20 @@ func (t *TraceHasher) write(tag byte, fields ...uint64) {
 		}
 	}
 	t.h = h
+	if tag == tagSimEvent {
+		return
+	}
+	t.protoRecords++
+	p := t.ph ^ uint64(tag)
+	p *= fnvPrime64
+	for _, f := range fields {
+		for i := 0; i < 8; i++ {
+			p ^= f & 0xff
+			p *= fnvPrime64
+			f >>= 8
+		}
+	}
+	t.ph = p
 }
 
 // Sum64 returns the current digest.
@@ -70,6 +93,13 @@ func (t *TraceHasher) Sum64() uint64 { return t.h }
 
 // Records returns how many records have been folded in.
 func (t *TraceHasher) Records() uint64 { return t.records }
+
+// ProtoSum64 returns the protocol-only digest: every record except
+// scheduler 'E' events.
+func (t *TraceHasher) ProtoSum64() uint64 { return t.ph }
+
+// ProtoRecords returns how many protocol records ProtoSum64 covers.
+func (t *TraceHasher) ProtoRecords() uint64 { return t.protoRecords }
 
 // String renders the digest in the canonical printable form.
 func (t *TraceHasher) String() string {
