@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test short race sweep fuzz vet bench metrics perfcheck ci
+.PHONY: all build test short race sweep fuzz vet bench metrics perfcheck lakecheck ci
 
-all: build vet test perfcheck
+all: build vet test perfcheck lakecheck
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,23 @@ perfcheck:
 	$(GO) test -run 'TestSweepHotPathEquivalence|TestSweepTimerEquivalence' \
 		./internal/testkit/
 	$(GO) test -run 'TestHotPathLint' ./internal/testkit/
+
+# Telemetry-lake gate over the committed BENCH artifacts (see DESIGN.md
+# §12, METRICS.md): two independent ingests must be byte-identical, the
+# pr3 self-diff must report zero findings, and the doc/lint tests keep
+# METRICS.md complete and every internal/ package documented.
+lakecheck:
+	$(GO) run ./cmd/falconlake ingest -out /tmp/falconlake_a.idx \
+		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json
+	$(GO) run ./cmd/falconlake ingest -out /tmp/falconlake_b.idx \
+		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json
+	cmp /tmp/falconlake_a.idx /tmp/falconlake_b.idx
+	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr3 pr3
+	$(GO) run ./cmd/falconlake list -index /tmp/falconlake_a.idx
+	rm -f /tmp/falconlake_a.idx /tmp/falconlake_b.idx
+	$(GO) test -run 'TestLake|TestDiff|TestQuerier|TestParsePath|TestPathClass' ./internal/lake/
+	$(GO) test -run 'TestMetricsDocComplete' ./internal/telemetry/
+	$(GO) test -run 'TestPackageDocLint' ./internal/testkit/
 
 # Regenerate every table at full measurement windows (several minutes).
 bench-full:

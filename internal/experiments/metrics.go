@@ -10,6 +10,11 @@ package experiments
 // state — so two same-seed runs write byte-identical -metrics JSON and
 // -series CSVs. Wall-time fields live exclusively in BenchReport, which
 // is why MetricsReport is a separate, stripped payload.
+//
+// Downstream, internal/lake indexes these artifacts (the committed
+// BENCH_pr3_metrics.json and BENCH_pr3_series/) for cross-run queries
+// and regression diffs; METRICS.md documents every metric name emitted
+// here and the per-metric diff policy.
 
 import (
 	"encoding/json"

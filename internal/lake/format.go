@@ -1,0 +1,334 @@
+package lake
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// The lake file format: a deterministic, checksummed binary encoding
+// of a sealed Index. Layout, all integers unsigned varints unless
+// noted:
+//
+//	magic "FALCONLAKE1\n"
+//	string dictionary: count, then per string len + raw bytes
+//	runs: count, then per run nameID, quick byte, schema ids, source ids
+//	cells: count, then three contiguous columns — run indices,
+//	       path ids, values (fixed 8-byte little-endian float bits)
+//	series: count, then per series run, nameID, column ids,
+//	       row count, timestamps (varint deltas), per-column values
+//	       (fixed 8-byte little-endian float bits)
+//	trailer: FNV-64a of everything above, fixed 8-byte little-endian
+//
+// Because a sealed Index is fully sorted and the encoding walks it in
+// storage order with no maps, equal indexes always encode to equal
+// bytes — `cmp` of two lake files is a semantic equality check. Decode
+// verifies magic, checksum, id ranges and sortedness, so a corrupt or
+// hand-edited file fails loudly instead of misreporting a diff.
+
+var lakeMagic = []byte("FALCONLAKE1\n")
+
+// Encode writes the index in the lake file format.
+func (ix *Index) Encode(w io.Writer) error {
+	var buf bytes.Buffer
+	buf.Write(lakeMagic)
+
+	putUvarint(&buf, uint64(len(ix.strs)))
+	for _, s := range ix.strs {
+		putUvarint(&buf, uint64(len(s)))
+		buf.WriteString(s)
+	}
+
+	putUvarint(&buf, uint64(len(ix.runs)))
+	for _, r := range ix.runs {
+		// Run names are not interned (only metric strings are);
+		// encode them inline.
+		putUvarint(&buf, uint64(len(r.Name)))
+		buf.WriteString(r.Name)
+		if r.Quick {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
+		putStringList(&buf, r.Schemas)
+		putStringList(&buf, r.Sources)
+	}
+
+	putUvarint(&buf, uint64(len(ix.cellVal)))
+	for _, r := range ix.cellRun {
+		putUvarint(&buf, uint64(r))
+	}
+	for _, p := range ix.cellPath {
+		putUvarint(&buf, uint64(p))
+	}
+	for _, v := range ix.cellVal {
+		putFloat(&buf, v)
+	}
+
+	putUvarint(&buf, uint64(len(ix.series)))
+	for _, s := range ix.series {
+		putUvarint(&buf, uint64(s.run))
+		putUvarint(&buf, uint64(s.name))
+		putUvarint(&buf, uint64(len(s.cols)))
+		for _, c := range s.cols {
+			putUvarint(&buf, uint64(c))
+		}
+		putUvarint(&buf, uint64(len(s.times)))
+		prev := int64(0)
+		for _, t := range s.times {
+			putVarint(&buf, t-prev)
+			prev = t
+		}
+		for _, col := range s.vals {
+			for _, v := range col {
+				putFloat(&buf, v)
+			}
+		}
+	}
+
+	h := fnv.New64a()
+	h.Write(buf.Bytes())
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
+	buf.Write(sum[:])
+
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// Decode reads a lake file produced by Encode, verifying checksum and
+// structural invariants.
+func Decode(r io.Reader) (*Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("lake: decode: %w", err)
+	}
+	if len(data) < len(lakeMagic)+8 || !bytes.Equal(data[:len(lakeMagic)], lakeMagic) {
+		return nil, fmt.Errorf("lake: decode: not a lake file (bad magic)")
+	}
+	body, sum := data[:len(data)-8], data[len(data)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if h.Sum64() != binary.LittleEndian.Uint64(sum) {
+		return nil, fmt.Errorf("lake: decode: checksum mismatch (corrupt file)")
+	}
+
+	d := &decoder{buf: body[len(lakeMagic):]}
+	ix := &Index{}
+
+	nstr := d.uvarint()
+	for i := uint64(0); i < nstr && d.err == nil; i++ {
+		ix.strs = append(ix.strs, d.str())
+	}
+	if d.err == nil && !sort.StringsAreSorted(ix.strs) {
+		return nil, fmt.Errorf("lake: decode: dictionary not sorted")
+	}
+
+	nruns := d.uvarint()
+	for i := uint64(0); i < nruns && d.err == nil; i++ {
+		var run Run
+		run.Name = d.str()
+		run.Quick = d.byte() != 0
+		run.Schemas = d.strList()
+		run.Sources = d.strList()
+		ix.runs = append(ix.runs, run)
+	}
+
+	ncells := d.uvarint()
+	for i := uint64(0); i < ncells && d.err == nil; i++ {
+		ix.cellRun = append(ix.cellRun, d.id(uint64(len(ix.runs)), "run"))
+	}
+	for i := uint64(0); i < ncells && d.err == nil; i++ {
+		ix.cellPath = append(ix.cellPath, d.id(uint64(len(ix.strs)), "path"))
+	}
+	for i := uint64(0); i < ncells && d.err == nil; i++ {
+		ix.cellVal = append(ix.cellVal, d.float())
+	}
+
+	nseries := d.uvarint()
+	for i := uint64(0); i < nseries && d.err == nil; i++ {
+		var s Series
+		s.run = d.id(uint64(len(ix.runs)), "run")
+		s.name = d.id(uint64(len(ix.strs)), "series name")
+		ncols := d.uvarint()
+		for c := uint64(0); c < ncols && d.err == nil; c++ {
+			s.cols = append(s.cols, d.id(uint64(len(ix.strs)), "column"))
+		}
+		nrows := d.uvarint()
+		prev := int64(0)
+		for r := uint64(0); r < nrows && d.err == nil; r++ {
+			prev += d.varint()
+			s.times = append(s.times, prev)
+		}
+		s.vals = make([][]float64, ncols)
+		for c := uint64(0); c < ncols && d.err == nil; c++ {
+			for r := uint64(0); r < nrows && d.err == nil; r++ {
+				s.vals[c] = append(s.vals[c], d.float())
+			}
+		}
+		ix.series = append(ix.series, s)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("lake: decode: %w", d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("lake: decode: %d trailing bytes", len(d.buf))
+	}
+
+	// Rebuild per-run cell offsets and verify cell ordering.
+	ix.runCellOff = make([]uint32, 1, len(ix.runs)+1)
+	for i := range ix.cellRun {
+		if i > 0 {
+			a, b := ix.cellRun[i-1], ix.cellRun[i]
+			if a > b || (a == b && ix.strs[ix.cellPath[i-1]] >= ix.strs[ix.cellPath[i]]) {
+				return nil, fmt.Errorf("lake: decode: cells not sorted at %d", i)
+			}
+		}
+		for uint32(len(ix.runCellOff))-1 < ix.cellRun[i] {
+			ix.runCellOff = append(ix.runCellOff, uint32(i))
+		}
+	}
+	for len(ix.runCellOff) < len(ix.runs)+1 {
+		ix.runCellOff = append(ix.runCellOff, uint32(len(ix.cellVal)))
+	}
+	for i := 1; i < len(ix.runs); i++ {
+		if ix.runs[i-1].Name >= ix.runs[i].Name {
+			return nil, fmt.Errorf("lake: decode: runs not sorted")
+		}
+	}
+	return ix, nil
+}
+
+// ReadFile decodes the lake file at path.
+func ReadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("lake: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func putVarint(buf *bytes.Buffer, v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutVarint(tmp[:], v)])
+}
+
+func putFloat(buf *bytes.Buffer, v float64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	buf.Write(tmp[:])
+}
+
+func putStringList(buf *bytes.Buffer, ss []string) {
+	putUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		putUvarint(buf, uint64(len(s)))
+		buf.WriteString(s)
+	}
+}
+
+// decoder is a cursor over the file body with sticky error handling.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 1 {
+		d.fail("truncated byte")
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *decoder) float() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.buf) < 8 {
+		d.fail("truncated float")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf))
+	d.buf = d.buf[8:]
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail("truncated string")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s
+}
+
+func (d *decoder) strList() []string {
+	n := d.uvarint()
+	var out []string
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, d.str())
+	}
+	return out
+}
+
+func (d *decoder) id(limit uint64, what string) uint32 {
+	v := d.uvarint()
+	if d.err == nil && v >= limit {
+		d.fail("%s id %d out of range (%d)", what, v, limit)
+	}
+	return uint32(v)
+}

@@ -1,0 +1,374 @@
+package lake
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The indexer half of the lake: Builder accumulates artifacts run by
+// run, then Seal freezes them into the columnar Index. Ingest order
+// never affects the sealed index — everything is sorted at seal time —
+// which is what makes double-ingest byte-equality a meaningful test.
+
+// Builder accumulates artifact ingests before sealing an Index.
+type Builder struct {
+	runs map[string]*runDraft
+}
+
+type runDraft struct {
+	quick   bool
+	schemas map[string]bool
+	sources map[string]bool
+	cells   map[string]float64
+	series  map[string]*seriesDraft
+}
+
+type seriesDraft struct {
+	cols  []string
+	times []int64
+	vals  [][]float64 // [column][row]
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{runs: make(map[string]*runDraft)}
+}
+
+func (b *Builder) run(name string) *runDraft {
+	if d, ok := b.runs[name]; ok {
+		return d
+	}
+	d := &runDraft{
+		schemas: make(map[string]bool),
+		sources: make(map[string]bool),
+		cells:   make(map[string]float64),
+		series:  make(map[string]*seriesDraft),
+	}
+	b.runs[name] = d
+	return d
+}
+
+// metricsFile mirrors the falconmetrics/v1 payload of falconbench
+// -metrics (internal/experiments.MetricsReport). The lake parses the
+// serialized artifact rather than importing the in-memory type: the
+// whole point is consuming accumulated files across runs and PRs.
+type metricsFile struct {
+	Schema  string `json:"schema"`
+	Quick   bool   `json:"quick"`
+	Figures []struct {
+		Name    string `json:"name"`
+		Metrics struct {
+			AtNs    int64 `json:"at_ns"`
+			Metrics []struct {
+				Name  string  `json:"name"`
+				Value float64 `json:"value"`
+			} `json:"metrics"`
+		} `json:"metrics"`
+	} `json:"figures"`
+}
+
+// benchFile mirrors the falconbench/v1 perf report
+// (internal/experiments.BenchReport) — the non-deterministic,
+// wall-clock half of a benchmark run.
+type benchFile struct {
+	Schema  string `json:"schema"`
+	Quick   bool   `json:"quick"`
+	Figures []struct {
+		Name           string  `json:"name"`
+		WallMS         float64 `json:"wall_ms"`
+		Events         uint64  `json:"events"`
+		EventsPerSec   float64 `json:"events_per_sec"`
+		NsPerEvent     float64 `json:"ns_per_event"`
+		AllocsPerEvent float64 `json:"allocs_per_event"`
+	} `json:"figures"`
+}
+
+// SchemaMetrics, SchemaBench and SchemaSeries are the artifact schemas
+// the indexer understands. Series CSVs carry no embedded schema tag,
+// so the indexer stamps them SchemaSeries on ingest.
+const (
+	SchemaMetrics = "falconmetrics/v1"
+	SchemaBench   = "falconbench/v1"
+	SchemaSeries  = "falconseries/v1"
+)
+
+// IngestMetricsJSON ingests one falconmetrics/v1 snapshot payload into
+// the named run. Every figure metric becomes one cell keyed by its
+// full metric path. Duplicate paths within a run are an error: they
+// would silently shadow each other across artifacts.
+func (b *Builder) IngestMetricsJSON(run string, r io.Reader, source string) error {
+	var mf metricsFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return fmt.Errorf("lake: %s: %w", source, err)
+	}
+	if mf.Schema != SchemaMetrics {
+		return fmt.Errorf("lake: %s: schema %q, want %q", source, mf.Schema, SchemaMetrics)
+	}
+	d := b.run(run)
+	for _, fig := range mf.Figures {
+		for _, m := range fig.Metrics.Metrics {
+			if _, dup := d.cells[m.Name]; dup {
+				return fmt.Errorf("lake: %s: duplicate metric %q in run %q", source, m.Name, run)
+			}
+			d.cells[m.Name] = m.Value
+		}
+	}
+	d.quick = d.quick || mf.Quick
+	d.schemas[SchemaMetrics] = true
+	d.sources[source] = true
+	return nil
+}
+
+// IngestBenchJSON ingests one falconbench/v1 performance report. Each
+// figure contributes cells under the synthetic perf layer
+// ("fig10/perf/events_per_sec"), which the differ treats with loose,
+// direction-aware tolerances (ClassPerf).
+func (b *Builder) IngestBenchJSON(run string, r io.Reader, source string) error {
+	var bf benchFile
+	if err := json.NewDecoder(r).Decode(&bf); err != nil {
+		return fmt.Errorf("lake: %s: %w", source, err)
+	}
+	if bf.Schema != SchemaBench {
+		return fmt.Errorf("lake: %s: schema %q, want %q", source, bf.Schema, SchemaBench)
+	}
+	d := b.run(run)
+	for _, fig := range bf.Figures {
+		cells := []struct {
+			metric string
+			v      float64
+		}{
+			{"wall_ms", fig.WallMS},
+			{"events", float64(fig.Events)},
+			{"events_per_sec", fig.EventsPerSec},
+			{"ns_per_event", fig.NsPerEvent},
+			{"allocs_per_event", fig.AllocsPerEvent},
+		}
+		for _, c := range cells {
+			name := fig.Name + "/perf/" + c.metric
+			if _, dup := d.cells[name]; dup {
+				return fmt.Errorf("lake: %s: duplicate metric %q in run %q", source, name, run)
+			}
+			d.cells[name] = c.v
+		}
+	}
+	d.quick = d.quick || bf.Quick
+	d.schemas[SchemaBench] = true
+	d.sources[source] = true
+	return nil
+}
+
+// IngestSeriesCSV ingests one -series CSV (header "t_ns,col..." then
+// one row per sampler tick) as the named series of the named run.
+func (b *Builder) IngestSeriesCSV(run, name string, r io.Reader, source string) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("lake: %s: %w", source, err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		return fmt.Errorf("lake: %s: empty series", source)
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "t_ns" {
+		return fmt.Errorf("lake: %s: first column %q, want t_ns", source, header[0])
+	}
+	cols := header[1:]
+	sd := &seriesDraft{cols: cols, vals: make([][]float64, len(cols))}
+	for ln, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			return fmt.Errorf("lake: %s:%d: %d fields, want %d", source, ln+2, len(fields), len(header))
+		}
+		t, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("lake: %s:%d: t_ns: %w", source, ln+2, err)
+		}
+		sd.times = append(sd.times, t)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return fmt.Errorf("lake: %s:%d: %s: %w", source, ln+2, cols[i], err)
+			}
+			sd.vals[i] = append(sd.vals[i], v)
+		}
+	}
+	d := b.run(run)
+	if _, dup := d.series[name]; dup {
+		return fmt.Errorf("lake: %s: duplicate series %q in run %q", source, name, run)
+	}
+	d.series[name] = sd
+	d.schemas[SchemaSeries] = true
+	d.sources[source] = true
+	return nil
+}
+
+// IngestFile ingests one artifact path into the named run,
+// dispatching on shape: a directory ingests every *.csv inside as
+// series (named by file stem), a .csv file ingests as one series, and
+// a .json file is sniffed for its schema tag.
+func (b *Builder) IngestFile(run, path string) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("lake: %w", err)
+	}
+	if fi.IsDir() {
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return fmt.Errorf("lake: %w", err)
+		}
+		n := 0
+		for _, ent := range ents {
+			if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".csv") {
+				continue
+			}
+			if err := b.IngestFile(run, filepath.Join(path, ent.Name())); err != nil {
+				return err
+			}
+			n++
+		}
+		if n == 0 {
+			return fmt.Errorf("lake: %s: no *.csv series in directory", path)
+		}
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("lake: %w", err)
+	}
+	base := filepath.Base(path)
+	switch {
+	case strings.HasSuffix(base, ".csv"):
+		return b.IngestSeriesCSV(run, strings.TrimSuffix(base, ".csv"), bytes.NewReader(data), base)
+	case strings.HasSuffix(base, ".json"):
+		var probe struct {
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(data, &probe); err != nil {
+			return fmt.Errorf("lake: %s: %w", base, err)
+		}
+		switch probe.Schema {
+		case SchemaMetrics:
+			return b.IngestMetricsJSON(run, bytes.NewReader(data), base)
+		case SchemaBench:
+			return b.IngestBenchJSON(run, bytes.NewReader(data), base)
+		default:
+			return fmt.Errorf("lake: %s: unknown schema %q", base, probe.Schema)
+		}
+	default:
+		return fmt.Errorf("lake: %s: not a .json, .csv or series directory", path)
+	}
+}
+
+// DeriveRunName guesses a run key from an artifact file name:
+// "BENCH_pr3_metrics.json" and "BENCH_pr3_series" both become "pr3".
+func DeriveRunName(path string) string {
+	name := filepath.Base(filepath.Clean(path))
+	name = strings.TrimSuffix(name, ".json")
+	name = strings.TrimSuffix(name, ".csv")
+	name = strings.TrimPrefix(name, "BENCH_")
+	name = strings.TrimSuffix(name, "_metrics")
+	name = strings.TrimSuffix(name, "_series")
+	if name == "" {
+		return "run"
+	}
+	return name
+}
+
+// Seal freezes the builder into an immutable Index. Sealing sorts
+// everything — dictionary, runs, cells, series — so the result is
+// independent of ingest order, and two seals over the same artifacts
+// are deeply (and, encoded, byte-) identical.
+func (b *Builder) Seal() (*Index, error) {
+	if len(b.runs) == 0 {
+		return nil, fmt.Errorf("lake: no runs ingested")
+	}
+	ix := &Index{}
+
+	runNames := make([]string, 0, len(b.runs))
+	for name := range b.runs {
+		runNames = append(runNames, name)
+	}
+	sort.Strings(runNames)
+
+	// Dictionary: every cell path, series name and series column.
+	dict := make(map[string]bool)
+	for _, rn := range runNames {
+		d := b.runs[rn]
+		for path := range d.cells {
+			dict[path] = true
+		}
+		for name, sd := range d.series {
+			dict[name] = true
+			for _, c := range sd.cols {
+				dict[c] = true
+			}
+		}
+	}
+	ix.strs = make([]string, 0, len(dict))
+	for s := range dict {
+		ix.strs = append(ix.strs, s)
+	}
+	sort.Strings(ix.strs)
+
+	ix.runCellOff = append(ix.runCellOff, 0)
+	for ri, rn := range runNames {
+		d := b.runs[rn]
+		ix.runs = append(ix.runs, Run{
+			Name:    rn,
+			Quick:   d.quick,
+			Schemas: sortedKeys(d.schemas),
+			Sources: sortedKeys(d.sources),
+		})
+
+		paths := make([]string, 0, len(d.cells))
+		for p := range d.cells {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			id, err := ix.intern(p)
+			if err != nil {
+				return nil, err
+			}
+			ix.cellRun = append(ix.cellRun, uint32(ri))
+			ix.cellPath = append(ix.cellPath, id)
+			ix.cellVal = append(ix.cellVal, d.cells[p])
+		}
+		ix.runCellOff = append(ix.runCellOff, uint32(len(ix.cellVal)))
+
+		for _, sn := range sortedKeys(d.series) {
+			sd := d.series[sn]
+			nameID, err := ix.intern(sn)
+			if err != nil {
+				return nil, err
+			}
+			s := Series{run: uint32(ri), name: nameID, times: sd.times, vals: sd.vals}
+			for _, c := range sd.cols {
+				cid, err := ix.intern(c)
+				if err != nil {
+					return nil, err
+				}
+				s.cols = append(s.cols, cid)
+			}
+			ix.series = append(ix.series, s)
+		}
+	}
+	return ix, nil
+}
+
+// sortedKeys returns the keys of a string-keyed map, sorted.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

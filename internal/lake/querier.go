@@ -1,0 +1,175 @@
+package lake
+
+import (
+	"strings"
+
+	"falcon/internal/stats"
+)
+
+// The querier half of the lake: point lookups, segment-glob selection
+// over metric paths, percentile summaries and time-series slices, all
+// read-only over a sealed Index.
+
+// Cell is one selected (path, value) pair.
+type Cell struct {
+	Path  string
+	Value float64
+}
+
+// Querier serves read queries over a sealed index.
+type Querier struct {
+	ix *Index
+}
+
+// NewQuerier returns a querier over ix.
+func NewQuerier(ix *Index) *Querier { return &Querier{ix: ix} }
+
+// Lookup returns the value of one exact metric path in one run.
+func (q *Querier) Lookup(run, path string) (float64, bool) {
+	return q.ix.Lookup(run, path)
+}
+
+// Select returns every cell of the run whose path matches the pattern,
+// in sorted path order. Patterns are segment globs over the metric
+// path: "*" matches exactly one segment, "**" matches any number
+// (including zero), and any other segment matches literally. Examples:
+//
+//	fig10/*/drop1.0/pdl/retx_rack     one sub-experiment dimension
+//	fig10/**/port/tx_bytes            any dims, the port layer's tx_bytes
+//	**/srtt_ns                        every smoothed-RTT cell
+func (q *Querier) Select(run, pattern string) []Cell {
+	pat := strings.Split(pattern, "/")
+	var out []Cell
+	q.ix.EachCell(run, func(path string, v float64) {
+		if matchSegments(pat, strings.Split(path, "/")) {
+			out = append(out, Cell{Path: path, Value: v})
+		}
+	})
+	return out
+}
+
+// matchSegments reports whether the glob pattern matches the path
+// segments.
+func matchSegments(pat, segs []string) bool {
+	// Walk greedily; "**" branches.
+	for len(pat) > 0 {
+		switch pat[0] {
+		case "**":
+			if len(pat) == 1 {
+				return true
+			}
+			for skip := 0; skip <= len(segs); skip++ {
+				if matchSegments(pat[1:], segs[skip:]) {
+					return true
+				}
+			}
+			return false
+		case "*":
+			if len(segs) == 0 {
+				return false
+			}
+		default:
+			if len(segs) == 0 || segs[0] != pat[0] {
+				return false
+			}
+		}
+		pat, segs = pat[1:], segs[1:]
+	}
+	return len(segs) == 0
+}
+
+// Summary is an aggregate over a set of selected values. Count, Mean,
+// Min and Max are exact; P50 and P99 come from an internal/stats
+// log-linear histogram over the values rounded to non-negative
+// integers, so they carry that histogram's ≤1/16 relative error —
+// appropriate for the ns- and byte-valued metrics percentiles are
+// asked of.
+type Summary struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+}
+
+// summarize aggregates values into a Summary.
+func summarize(vals []float64) Summary {
+	var s Summary
+	if len(vals) == 0 {
+		return s
+	}
+	var h stats.Histogram
+	s.Min, s.Max = vals[0], vals[0]
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		hv := v
+		if hv < 0 {
+			hv = 0
+		}
+		h.Record(uint64(hv + 0.5))
+	}
+	s.Count = len(vals)
+	s.Mean = sum / float64(len(vals))
+	s.P50 = float64(h.Quantile(50))
+	s.P99 = float64(h.Quantile(99))
+	return s
+}
+
+// Summary aggregates every cell matching the pattern (see Select).
+func (q *Querier) Summary(run, pattern string) Summary {
+	cells := q.Select(run, pattern)
+	vals := make([]float64, len(cells))
+	for i, c := range cells {
+		vals[i] = c.Value
+	}
+	return summarize(vals)
+}
+
+// SeriesNames lists the run's time series, sorted.
+func (q *Querier) SeriesNames(run string) []string { return q.ix.SeriesNames(run) }
+
+// SeriesSlice returns the (t_ns, value) rows of one series column with
+// from <= t_ns <= to (use from=0, to=-1 for all rows). The second
+// return is false when the series or column does not exist.
+func (q *Querier) SeriesSlice(run, series, col string, from, to int64) ([]int64, []float64, bool) {
+	sv, ok := q.ix.FindSeries(run, series)
+	if !ok {
+		return nil, nil, false
+	}
+	vals := sv.Column(col)
+	if vals == nil {
+		return nil, nil, false
+	}
+	times := sv.Times()
+	var ts []int64
+	var vs []float64
+	for i, t := range times {
+		if t < from || (to >= 0 && t > to) {
+			continue
+		}
+		ts = append(ts, t)
+		vs = append(vs, vals[i])
+	}
+	return ts, vs, true
+}
+
+// SeriesSummary aggregates one series column over the full run.
+func (q *Querier) SeriesSummary(run, series, col string) (Summary, bool) {
+	sv, ok := q.ix.FindSeries(run, series)
+	if !ok {
+		return Summary{}, false
+	}
+	vals := sv.Column(col)
+	if vals == nil {
+		return Summary{}, false
+	}
+	return summarize(vals), true
+}

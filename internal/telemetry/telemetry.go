@@ -22,7 +22,10 @@
 // hooks verification uses (pdl.Probe, tl.Probe, sim.Observer,
 // netsim.Host.SetTap, fae observer); layer stats structs are read lazily
 // at snapshot or sampler-tick time, never on the packet path. DESIGN.md §9
-// documents the metric catalogue and the determinism contract.
+// documents the metric catalogue and the determinism contract; METRICS.md
+// is the authoritative per-metric reference (kind, unit, determinism
+// class), enforced complete by TestMetricsDocComplete, and internal/lake
+// indexes exported snapshots and series for cross-run regression diffs.
 package telemetry
 
 import (

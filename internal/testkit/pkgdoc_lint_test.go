@@ -1,0 +1,88 @@
+package testkit
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocLint asserts every package under internal/ carries a
+// package doc comment: some non-test .go file in the directory must
+// have a comment block attached to its package clause. Godoc is the
+// entry point for each subsystem (METRICS.md and DESIGN.md link into
+// it), so an undocumented package is a structural regression the same
+// way a map on the hot path is — caught here at review time.
+//
+// Directories with no non-test Go files (pure grouping directories
+// like internal/falcon) are skipped.
+func TestPackageDocLint(t *testing.T) {
+	root := repoRootDir(t)
+	internal := filepath.Join(root, "internal")
+
+	var undocumented []string
+	err := filepath.WalkDir(internal, func(path string, d os.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		fset := token.NewFileSet()
+		hasGo, hasDoc := false, false
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			hasGo = true
+			f, err := parser.ParseFile(fset, filepath.Join(path, name), nil,
+				parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				t.Errorf("parse %s: %v", filepath.Join(path, name), err)
+				continue
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				hasDoc = true
+				break
+			}
+		}
+		if hasGo && !hasDoc {
+			rel, _ := filepath.Rel(root, path)
+			undocumented = append(undocumented, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(undocumented)
+	if len(undocumented) > 0 {
+		t.Fatalf("packages missing a package doc comment:\n  %s",
+			strings.Join(undocumented, "\n  "))
+	}
+}
+
+// repoRootDir walks up from the test's working directory to the module
+// root.
+func repoRootDir(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
