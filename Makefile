@@ -55,16 +55,21 @@ bench:
 metrics:
 	$(GO) run ./cmd/falconbench -quick -run 'fig10|fig13|fig15' \
 		-metrics BENCH_pr3_metrics.json -series BENCH_pr3_series
+	$(GO) run ./cmd/falconbench -quick -run 'figRouting|figGrayFailure' \
+		-metrics BENCH_pr8_metrics.json
 
 # Fast-path regression gate: the zero-alloc assertions on the fabric hot
-# path (port send, switch forward, host deliver, AtAction dispatch), the
-# end-to-end transport steady-state alloc gate, and the trace-hash
-# equivalence suites — wheel-vs-heap schedulers, pooled-vs-legacy
-# allocation, and the PR 6 legacy-vs-optimized PDL/TL hot path over the
-# full 33-scenario fault-sweep matrix (plus the eager-vs-lazy timer
-# oracle). The AST lint keeps map indexing and closure-based scheduling
-# out of the steady-state path so regressions fail here rather than in
-# profiles. See DESIGN.md §10–11.
+# path (port send, switch forward with every routing policy, host
+# deliver, AtAction dispatch), the end-to-end transport steady-state
+# alloc gate, and the trace-hash equivalence suites — wheel-vs-heap
+# schedulers, pooled-vs-legacy allocation, the PR 6 legacy-vs-optimized
+# PDL/TL hot path over the full 33-scenario fault-sweep matrix (plus the
+# eager-vs-lazy timer oracle), and the PR 8 routing equivalence suite
+# (pluggable ECMP vs the pre-extraction inline formula, spray's exact
+# round-robin and adaptive's backlog avoidance through a real fabric).
+# The AST lints keep map indexing and closure-based scheduling out of
+# the steady-state path so regressions fail here rather than in
+# profiles. See DESIGN.md §10–11, §13.
 perfcheck:
 	$(GO) test -run 'ZeroAlloc' -v ./internal/netsim/ ./internal/sim/
 	$(GO) test -run 'TestTransportSteadyStateAllocs' -v ./internal/core/
@@ -72,19 +77,24 @@ perfcheck:
 		./internal/testkit/
 	$(GO) test -run 'TestSweepHotPathEquivalence|TestSweepTimerEquivalence' \
 		./internal/testkit/
-	$(GO) test -run 'TestHotPathLint' ./internal/testkit/
+	$(GO) test -run 'TestECMPMatchesLegacyFormula|TestSprayFabricExactSpread|TestAdaptiveFabricAvoidsSlowUplink' \
+		./internal/routing/
+	$(GO) test -run 'TestHotPathLint|TestNetsimClosureFree' ./internal/testkit/
 
 # Telemetry-lake gate over the committed BENCH artifacts (see DESIGN.md
 # §12, METRICS.md): two independent ingests must be byte-identical, the
-# pr3 self-diff must report zero findings, and the doc/lint tests keep
-# METRICS.md complete and every internal/ package documented.
+# pr3/pr8 self-diffs must report zero findings, and the doc/lint tests
+# keep METRICS.md complete and every internal/ package documented.
 lakecheck:
 	$(GO) run ./cmd/falconlake ingest -out /tmp/falconlake_a.idx \
-		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json
+		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json \
+		BENCH_pr8_metrics.json
 	$(GO) run ./cmd/falconlake ingest -out /tmp/falconlake_b.idx \
-		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json
+		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json \
+		BENCH_pr8_metrics.json
 	cmp /tmp/falconlake_a.idx /tmp/falconlake_b.idx
 	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr3 pr3
+	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr8 pr8
 	$(GO) run ./cmd/falconlake list -index /tmp/falconlake_a.idx
 	rm -f /tmp/falconlake_a.idx /tmp/falconlake_b.idx
 	$(GO) test -run 'TestLake|TestDiff|TestQuerier|TestParsePath|TestPathClass' ./internal/lake/

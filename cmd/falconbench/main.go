@@ -22,6 +22,12 @@
 //	                                   # runs; forces serial execution)
 //	falconbench -sched heap            # A/B the reference heap scheduler;
 //	                                   # tables must be identical
+//	falconbench -routing spray         # run every fabric under a non-default
+//	                                   # uplink policy (ecmp, spray, adaptive);
+//	                                   # same-seed reruns stay byte-identical
+//	                                   # per policy, but non-ecmp tables
+//	                                   # legitimately differ from committed
+//	                                   # baselines
 //	falconbench -legacyhotpath         # A/B the legacy transport hot path
 //	                                   # (map tables, heap packets, per-PSN
 //	                                   # scans); tables must be identical
@@ -43,6 +49,8 @@ import (
 
 	"falcon/internal/core"
 	"falcon/internal/experiments"
+	"falcon/internal/netsim"
+	"falcon/internal/routing"
 	"falcon/internal/sim"
 	"falcon/internal/telemetry"
 )
@@ -56,6 +64,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a deterministic per-figure metrics JSON to this file (forces a serial instrumented run)")
 	seriesDir := flag.String("series", "", "write per-figure time-series CSVs into this directory (forces a serial instrumented run)")
 	sched := flag.String("sched", "wheel", "event scheduler: wheel (default) or heap (reference)")
+	routingPolicy := flag.String("routing", "ecmp", "fabric uplink policy for every topology: ecmp (default), spray, or adaptive")
 	legacyHotPath := flag.Bool("legacyhotpath", false, "run the transport on the legacy hot path oracle (map tables, heap packets, per-PSN scans)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
@@ -77,6 +86,12 @@ func main() {
 		os.Exit(2)
 	}
 	core.SetDefaultLegacyHotPath(*legacyHotPath)
+	pol := routing.ByName(*routingPolicy)
+	if pol == nil {
+		fmt.Fprintf(os.Stderr, "bad -routing %q: want ecmp, spray or adaptive\n", *routingPolicy)
+		os.Exit(2)
+	}
+	netsim.SetDefaultPolicy(pol)
 	var re *regexp.Regexp
 	if *run != "" {
 		var err error

@@ -29,6 +29,17 @@
 //	    Print (t_ns, value) rows of one time-series column, or its
 //	    summary.
 //
+//	falconlake watch [-tol 0.05] [-perftol 0.25] [-json] [-keep path] \
+//	    baseline.json
+//	    Regenerate the baseline's figures in-process (same figure set,
+//	    same quick flag, serial instrumented run) and diff the fresh
+//	    artifact against the committed baseline. Exits 1 when findings
+//	    exist — the one-command drift check for a working tree:
+//	    `falconlake watch BENCH_pr8_metrics.json` answers "did my edit
+//	    change any committed metric?" without leaving temp files
+//	    around. -keep writes the regenerated artifact to a path for
+//	    inspection (or for promoting it to the new baseline).
+//
 //	falconlake diff -index lake.idx [-tol 0.05] [-perftol 0.25] \
 //	    [-json] runA runB
 //	    Compare runB against baseline runA. Exact-class metrics must
@@ -68,6 +79,8 @@ func main() {
 		cmdQuery(os.Args[2:])
 	case "diff":
 		cmdDiff(os.Args[2:])
+	case "watch":
+		cmdWatch(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -86,6 +99,7 @@ func usage() {
   falconlake query  -index lake.idx -run NAME -serie NAME -col COL [-from NS] [-to NS] [-summary]
   falconlake diff   -index lake.idx [-tol F] [-perftol F] [-json] RUN_A RUN_B
   falconlake diff   [-tol F] [-perftol F] [-json] ARTIFACT_A ARTIFACT_B
+  falconlake watch  [-tol F] [-perftol F] [-json] [-keep PATH] BASELINE.json
 
 See 'go doc falcon/cmd/falconlake' and METRICS.md for details.
 `)

@@ -74,6 +74,16 @@ var registry = []Entry{
 	{Name: "fig17", Desc: "path scheduling policy", Run: func(q bool) *Table {
 		return Fig17(windows(4*time.Millisecond, 2*time.Millisecond)(q))
 	}},
+	{Name: "figRouting", Desc: "fabric routing policy head-to-head (ECMP/spray/adaptive)", Run: func(q bool) *Table {
+		return FigRouting(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}, RunTel: func(q bool, tel *telemetry.Suite) *Table {
+		return FigRoutingTel(windows(4*time.Millisecond, 2*time.Millisecond)(q), tel)
+	}},
+	{Name: "figGrayFailure", Desc: "routing policies under flapping links and correlated outages", Run: func(q bool) *Table {
+		return FigGrayFailure(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}, RunTel: func(q bool, tel *telemetry.Suite) *Table {
+		return FigGrayFailureTel(windows(4*time.Millisecond, 2*time.Millisecond)(q), tel)
+	}},
 	{Name: "fig18", Desc: "ML training comm time (multipath)", Run: func(q bool) *Table {
 		return Fig18()
 	}},

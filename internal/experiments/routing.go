@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"falcon/internal/core"
+	"falcon/internal/netsim"
+	"falcon/internal/rdma"
+	"falcon/internal/routing"
+	"falcon/internal/sim"
+	"falcon/internal/stats"
+	"falcon/internal/telemetry"
+	"falcon/internal/workload"
+)
+
+// This file is the fabric-side counterpart of fig15/fig17: instead of
+// varying the transport's path policy, it swaps the switches' uplink
+// selection (ECMP / spray / adaptive, internal/routing) underneath an
+// unchanged Falcon multipath+PLB transport, with and without gray
+// failures injected into the fabric. figRouting measures the head-to-head
+// under a clean and a statically asymmetric fabric; figGrayFailure under
+// flapping links and a correlated multi-uplink outage.
+
+// routingCell is one measured (policy, scenario) run.
+type routingCell struct {
+	p50, p99  time.Duration
+	gbps      float64
+	spreadPct float64
+	downDrops uint64
+	repaths   uint64
+}
+
+// uplinkSpread summarizes an equal-cost uplink group after a run: the
+// frame imbalance (max-min)*100/max and the total down-link drops. It is
+// the same arithmetic telemetry.CollectUplinks emits, computed here so
+// the table and the metrics artifact can never disagree.
+func uplinkSpread(ports []*netsim.Port) (spreadPct float64, downDrops uint64) {
+	var minF, maxF uint64
+	for i, p := range ports {
+		if i == 0 || p.Stats.TxFrames < minF {
+			minF = p.Stats.TxFrames
+		}
+		if p.Stats.TxFrames > maxF {
+			maxF = p.Stats.TxFrames
+		}
+		downDrops += p.Stats.DownDrops
+	}
+	if maxF > 0 {
+		spreadPct = float64(maxF-minF) * 100 / float64(maxF)
+	}
+	return spreadPct, downDrops
+}
+
+// routingRun drives the §6.1.3 rack pair (8<->8 hosts, 4 spines) at the
+// offered load with the given fabric routing policy, after letting
+// impair schedule gray failures on ToR-0's uplink group. With a non-nil
+// suite it exports conn-0's PDL state, node-0's FAE counters, the uplink
+// group's routing-layer spread cells and the (possibly degraded)
+// uplink-0 port counters under prefix.
+func routingRun(seed int64, pol routing.Policy, load float64, runFor time.Duration,
+	impair func(inj *routing.Injector, uplinks []*netsim.Port),
+	tel *telemetry.Suite, prefix string) routingCell {
+	const hostsPerRack = 8
+	const spines = 4
+	fabricGbps := float64(spines) * 200
+	s, topo, cl := rackPair(seed, hostsPerRack, spines)
+	topo.SetRoutingPolicy(pol)
+	var nodes []*core.Node
+	for _, h := range topo.Hosts {
+		nodes = append(nodes, cl.AddNode(h, core.DefaultNodeConfig()))
+	}
+	// ToR-0's spine uplinks: the equal-cost set every cross-rack frame
+	// from rack 0 fans over, and the group gray failures target.
+	uplinks := topo.ToRs[0].RouteTo(topo.Hosts[hostsPerRack].ID)
+	inj := routing.NewInjector(s)
+	if impair != nil {
+		impair(inj, uplinks)
+	}
+	const opBytes = 64 << 10
+	var lat stats.Series
+	var delivered uint64
+	var firstEp *core.Endpoint
+	perPairRate := load * fabricGbps / float64(hostsPerRack)
+	opsPerSec := perPairRate * 1e9 / 8 / opBytes
+	for i := 0; i < hostsPerRack; i++ {
+		a := nodes[i]
+		b := nodes[hostsPerRack+i]
+		epA, epB := cl.Connect(a, b, multipathConn())
+		qa := rdma.NewQP(epA, rdma.Config{})
+		rdma.NewQP(epB, rdma.Config{}).RegisterMemoryLen(1 << 40)
+		if firstEp == nil {
+			firstEp = epA
+		}
+		gen := workload.NewPoisson(s, s.Rand(), opsPerSec, 1<<30, func() {
+			start := s.Now()
+			qa.Write(0, 0, nil, opBytes, func(c rdma.Completion) {
+				if c.Err == nil {
+					lat.AddDuration(s.Now().Sub(start))
+					delivered += opBytes
+				}
+			})
+		})
+		gen.Start()
+	}
+	if tel != nil {
+		reg := tel.Registry()
+		telemetry.CollectPDL(reg, prefix+"/conn0", firstEp.PDL())
+		telemetry.CollectUplinks(reg, prefix+"/tor0", uplinks)
+		// Uplink 0 is the impairment target in every scenario; its port
+		// counters carry the slow-port queue depth and down-drop detail.
+		telemetry.CollectPort(reg, prefix+"/up0", uplinks[0])
+		telemetry.CollectFAE(reg, prefix+"/node0", nodes[0].Engine())
+		telemetry.ObserveFAE(reg, prefix+"/node0", nodes[0].Engine())
+	}
+	s.RunUntil(sim.Time(runFor))
+	cell := routingCell{
+		p50:  lat.DurationPercentile(50),
+		p99:  lat.DurationPercentile(99),
+		gbps: stats.Gbps(delivered, runFor),
+	}
+	cell.spreadPct, cell.downDrops = uplinkSpread(uplinks)
+	for _, n := range nodes {
+		cell.repaths += n.Engine().Repaths
+	}
+	return cell
+}
+
+// FigRouting reproduces the fabric-policy head-to-head: Falcon
+// multipath+PLB running over an ECMP, spray and adaptive fabric, on a
+// clean symmetric Clos and on one with a statically degraded uplink
+// (uplink 0 at 50 of 200 Gbps — a gray failure ECMP cannot see but
+// adaptive routes around and PLB repaths away from).
+func FigRouting(runFor time.Duration) *Table { return figRouting(runFor, nil) }
+
+// FigRoutingTel is the instrumented FigRouting: every (policy, fabric)
+// cell exports conn/FAE metrics plus the ToR-0 uplink-group spread under
+// figRouting/<policy>/<sym|asym>. The table is identical to FigRouting's.
+func FigRoutingTel(runFor time.Duration, tel *telemetry.Suite) *Table {
+	return figRouting(runFor, tel)
+}
+
+func figRouting(runFor time.Duration, tel *telemetry.Suite) *Table {
+	t := &Table{
+		Title: "Routing policies: Falcon multipath+PLB over ECMP/spray/adaptive fabric, 60% load",
+		Columns: []string{"policy", "sym p99", "sym Gbps", "sym spread%",
+			"asym p99", "asym Gbps", "asym spread%"},
+	}
+	// Static asymmetry: uplink 0 degraded from t=0 for the whole run.
+	asym := func(inj *routing.Injector, uplinks []*netsim.Port) {
+		inj.Slow(uplinks[0], 0, 50, 0, 0)
+	}
+	for _, pol := range routing.Policies() {
+		sym := routingRun(41, pol, 0.6, runFor, nil, tel, "figRouting/"+pol.Name()+"/sym")
+		deg := routingRun(41, pol, 0.6, runFor, asym, tel, "figRouting/"+pol.Name()+"/asym")
+		t.Rows = append(t.Rows, []string{
+			pol.Name(), dur(sym.p99), f1(sym.gbps), f1(sym.spreadPct),
+			dur(deg.p99), f1(deg.gbps), f1(deg.spreadPct),
+		})
+	}
+	return t
+}
+
+// FigGrayFailure measures each fabric policy under injected gray
+// failures: a flapping uplink (two down/up cycles) and a correlated
+// outage taking half the uplink group down at once. down_drops counts
+// frames the fabric ate; repaths counts Falcon's PLB reacting.
+func FigGrayFailure(runFor time.Duration) *Table { return figGrayFailure(runFor, nil) }
+
+// FigGrayFailureTel is the instrumented FigGrayFailure, exporting the
+// same per-cell metrics as FigRoutingTel under
+// figGrayFailure/<policy>/<flap|outage>.
+func FigGrayFailureTel(runFor time.Duration, tel *telemetry.Suite) *Table {
+	return figGrayFailure(runFor, tel)
+}
+
+func figGrayFailure(runFor time.Duration, tel *telemetry.Suite) *Table {
+	t := &Table{
+		Title:   "Gray failures: flapping uplink and correlated outage per routing policy, 60% load",
+		Columns: []string{"policy", "scenario", "p99", "Gbps", "down_drops", "repaths"},
+	}
+	scenarios := []struct {
+		name   string
+		impair func(inj *routing.Injector, uplinks []*netsim.Port)
+	}{
+		{"flap", func(inj *routing.Injector, uplinks []*netsim.Port) {
+			// Two down/up cycles on uplink 0 starting a quarter into the
+			// run, each phase an eighth of the window: the port is back up
+			// for the final quarter.
+			inj.Flap(uplinks[0], sim.Time(runFor/4), runFor/8, runFor/8, 2)
+		}},
+		{"outage", func(inj *routing.Injector, uplinks []*netsim.Port) {
+			// Correlated failure: half the uplink group down at once for a
+			// quarter of the window.
+			inj.RackOutage([]routing.FailPort{uplinks[0], uplinks[1]},
+				sim.Time(runFor/4), runFor/4)
+		}},
+	}
+	for _, pol := range routing.Policies() {
+		for _, sc := range scenarios {
+			cell := routingRun(43, pol, 0.6, runFor, sc.impair, tel,
+				"figGrayFailure/"+pol.Name()+"/"+sc.name)
+			t.Rows = append(t.Rows, []string{
+				pol.Name(), sc.name, dur(cell.p99), f1(cell.gbps),
+				fmt.Sprintf("%d", cell.downDrops), fmt.Sprintf("%d", cell.repaths),
+			})
+		}
+	}
+	return t
+}

@@ -12,8 +12,8 @@ import "strings"
 // e.g. "fig10/ReadReq/drop0.0/fwd/port/down_drops" parses as figure
 // fig10, dims {ReadReq, drop0.0, fwd}, layer port, metric down_drops.
 // The layer is the first segment (scanning left to right) matching a
-// known layer token — pdl, tl, nic, port, fae, or the synthetic perf
-// layer the indexer gives falconbench/v1 reports. Histogram-backed
+// known layer token — pdl, tl, nic, port, fae, routing, or the
+// synthetic perf layer the indexer gives falconbench/v1 reports. Histogram-backed
 // metrics carry one of the fixed stat suffixes (count, mean, p50, p99,
 // max) the registry expands histograms into. Time-series column names
 // ("conn0/srtt_ns") have no layer token: their leading segments are
@@ -42,12 +42,13 @@ type Path struct {
 // name, plus the synthetic "perf" layer of ingested falconbench/v1
 // performance reports.
 var layerTokens = map[string]bool{
-	"pdl":  true,
-	"tl":   true,
-	"nic":  true,
-	"port": true,
-	"fae":  true,
-	"perf": true,
+	"pdl":     true,
+	"tl":      true,
+	"nic":     true,
+	"port":    true,
+	"fae":     true,
+	"routing": true,
+	"perf":    true,
 }
 
 // statSuffixes are the names Registry.Snapshot expands each histogram

@@ -54,6 +54,14 @@ func TestParsePath(t *testing.T) {
 			},
 		},
 		{
+			// Routing layer: per-uplink spread cells from CollectUplinks.
+			raw: "figRouting/spray/tor0/up2/routing/tx_frames",
+			want: Path{
+				Figure: "figRouting", Dims: []string{"spray", "tor0", "up2"},
+				Layer: "routing", Metric: "tx_frames",
+			},
+		},
+		{
 			raw:  "bare_metric",
 			want: Path{Metric: "bare_metric"},
 		},
@@ -86,6 +94,8 @@ func TestPathClass(t *testing.T) {
 		{"conn0/retransmits", ClassExact},
 		{"fwd/queue_delay_ns", ClassTiming},
 		{"fwd/queue_drops", ClassExact},
+		{"figRouting/adaptive/tor0/routing/spread_pct", ClassExact},
+		{"figGrayFailure/ecmp/flap/tor0/routing/down_drops_total", ClassExact},
 	}
 	for _, c := range cases {
 		if got := ParsePath(c.raw).Class(); got != c.want {

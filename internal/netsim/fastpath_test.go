@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"falcon/internal/routing"
 	"falcon/internal/sim"
 )
 
@@ -131,6 +132,45 @@ func TestSwitchForwardZeroAlloc(t *testing.T) {
 	warm(op)
 	if a := testing.AllocsPerRun(1000, op); a != 0 {
 		t.Fatalf("switch forward path: %.2f allocs/op, want 0", a)
+	}
+}
+
+// TestSwitchPolicyZeroAlloc asserts the pluggable routing decision —
+// building the selection Key, the policy dispatch, the queue-depth view
+// for adaptive and the spray counter update — adds no allocation to the
+// switch hop for any built-in policy.
+func TestSwitchPolicyZeroAlloc(t *testing.T) {
+	for _, pol := range routing.Policies() {
+		pol := pol
+		t.Run(pol.Name(), func(t *testing.T) {
+			s := sim.New(1)
+			n := New(s)
+			sw := n.AddSwitch()
+			sw.SetPolicy(pol)
+			sink := &benchSink{net: n}
+			sw.addRoute(0,
+				newPort(n, "a", benchLink, sink),
+				newPort(n, "b", benchLink, sink),
+				newPort(n, "c", benchLink, sink),
+				newPort(n, "d", benchLink, sink))
+			var i uint64
+			op := func() {
+				f := n.frames.Acquire()
+				f.Dst = 0
+				f.FlowHash = i
+				f.Size = 1500
+				i++
+				sw.receive(f)
+				s.Run()
+			}
+			warm(op)
+			if a := testing.AllocsPerRun(1000, op); a != 0 {
+				t.Fatalf("%s policy path: %.2f allocs/op, want 0", pol.Name(), a)
+			}
+			if sink.got == 0 {
+				t.Fatal("sink received nothing")
+			}
+		})
 	}
 }
 

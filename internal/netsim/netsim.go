@@ -1,8 +1,9 @@
 // Package netsim simulates the Ethernet datacenter fabric the Falcon
 // evaluation runs on: hosts with access links, output-queued switches,
-// ECMP/WCMP next-hop selection hashed on the transport's flow label, and the
-// switch-level impairments (random drop, reordering, link failure) the paper
-// configures in §6.1.
+// pluggable next-hop selection across equal-cost ports (internal/routing:
+// flow-label ECMP by default, per-packet spray and least-queue adaptive as
+// alternatives), and the switch-level impairments (random drop, reordering,
+// link failure) the paper configures in §6.1.
 //
 // netsim is transport-agnostic: it moves Frames, which carry an opaque
 // Payload. Falcon, RoCE and the software-transport baselines all ride the
@@ -20,8 +21,10 @@ package netsim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"falcon/internal/routing"
 	"falcon/internal/sim"
 )
 
@@ -332,29 +335,67 @@ func (h *Host) receive(f *Frame) {
 	h.net.frames.Release(f)
 }
 
-// Switch forwards frames by destination with ECMP across equal-cost
-// next-hop ports.
+// Switch forwards frames by destination, selecting among equal-cost
+// next-hop ports through a pluggable routing.Policy (ECMP by default;
+// see SetPolicy and Network.SetRoutingPolicy).
 type Switch struct {
 	id   int
 	net  *Network
 	salt uint64
+	// policy selects among equal-cost next hops. Policy values are
+	// stateless; the mutable selection state lives in the dense state
+	// array below so switching policies never carries stale state.
+	policy routing.Policy
 	// routes is the dense next-hop table indexed by destination NodeID
 	// (host IDs are small dense integers, so a slice index replaces the
 	// former per-hop map lookup).
 	routes [][]*Port
+	// state holds one policy word per destination NodeID, dense like
+	// routes (the spray packet counter; zero for ECMP/adaptive).
+	state []uint64
+	// qview is the reused queue-depth view handed to the policy; a
+	// pointer to this field converts to routing.QueueDepths without
+	// allocating on the per-frame path.
+	qview portQueues
 	// RxFrames counts frames entering the switch.
 	RxFrames uint64
 }
+
+// portQueues adapts an equal-cost port set to routing.QueueDepths.
+type portQueues struct {
+	ports []*Port
+}
+
+// QueuedBytes implements routing.QueueDepths.
+func (q *portQueues) QueuedBytes(i int) int { return q.ports[i].queuedBytes }
+
+// SetPolicy installs the routing policy for this switch and clears any
+// per-destination policy state (spray counters restart from zero, so a
+// policy change mid-build cannot leak state between policies).
+func (sw *Switch) SetPolicy(p routing.Policy) {
+	if p == nil {
+		p = routing.ECMP{}
+	}
+	sw.policy = p
+	for i := range sw.state {
+		sw.state[i] = 0
+	}
+}
+
+// Policy returns the switch's routing policy.
+func (sw *Switch) Policy() routing.Policy { return sw.policy }
 
 // addRoute registers ports as next hops toward dst.
 func (sw *Switch) addRoute(dst NodeID, ports ...*Port) {
 	for int(dst) >= len(sw.routes) {
 		sw.routes = append(sw.routes, nil)
+		sw.state = append(sw.state, 0)
 	}
 	sw.routes[dst] = append(sw.routes[dst], ports...)
 }
 
-// RouteTo returns the ECMP port set toward dst (for impairment injection).
+// RouteTo returns the equal-cost port set toward dst (for impairment
+// injection and telemetry).
 func (sw *Switch) RouteTo(dst NodeID) []*Port {
 	if int(dst) < 0 || int(dst) >= len(sw.routes) {
 		return nil
@@ -366,7 +407,8 @@ func (sw *Switch) receive(f *Frame) {
 	sw.RxFrames++
 	f.Hops++
 	var ports []*Port
-	if d := int(f.Dst); d >= 0 && d < len(sw.routes) {
+	d := int(f.Dst)
+	if d >= 0 && d < len(sw.routes) {
 		ports = sw.routes[d]
 	}
 	switch len(ports) {
@@ -375,20 +417,37 @@ func (sw *Switch) receive(f *Frame) {
 	case 1:
 		ports[0].send(f)
 	default:
-		h := mix64(f.FlowHash ^ sw.salt ^ uint64(f.Dst)<<32 ^ uint64(f.Src))
-		ports[h%uint64(len(ports))].send(f)
+		sw.qview.ports = ports
+		k := routing.Key{FlowHash: f.FlowHash, Salt: sw.salt, Src: uint64(f.Src), Dst: uint64(f.Dst)}
+		ports[sw.policy.Select(k, len(ports), &sw.state[d], &sw.qview)].send(f)
 	}
 }
 
-// mix64 is a splitmix64 finalizer: a cheap avalanche so per-switch salts
-// decorrelate ECMP choices.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+// defaultPolicy is the routing policy AddSwitch installs on new
+// switches when the owning network has none set; cmd/falconbench
+// -routing overrides it process-wide. Atomic because parallel
+// experiment runners build networks from several goroutines.
+var defaultPolicy atomic.Value // routing.Policy
+
+// SetDefaultPolicy selects the routing policy networks built after the
+// call install on their switches (existing networks are unaffected).
+// nil restores ECMP. Tests that need a specific policy should use
+// Network.SetRoutingPolicy or Switch.SetPolicy instead of mutating the
+// process-wide default.
+func SetDefaultPolicy(p routing.Policy) {
+	if p == nil {
+		p = routing.ECMP{}
+	}
+	defaultPolicy.Store(&p)
+}
+
+// DefaultPolicy reports the routing policy New currently gives to
+// networks (ECMP unless SetDefaultPolicy changed it).
+func DefaultPolicy() routing.Policy {
+	if v, ok := defaultPolicy.Load().(*routing.Policy); ok {
+		return *v
+	}
+	return routing.ECMP{}
 }
 
 // Network owns hosts and switches attached to one simulator, plus the
@@ -397,6 +456,7 @@ type Network struct {
 	sim      *sim.Simulator
 	hosts    []*Host
 	switches []*Switch
+	policy   routing.Policy
 
 	frames FramePool
 	evFree []*portEvent
@@ -405,8 +465,25 @@ type Network struct {
 
 // New creates an empty network bound to s.
 func New(s *sim.Simulator) *Network {
-	return &Network{sim: s}
+	return &Network{sim: s, policy: DefaultPolicy()}
 }
+
+// SetRoutingPolicy installs p (nil = ECMP) on every existing switch and
+// on switches added later — the topology-wide knob experiments use to
+// pit Falcon against spray or adaptive fabrics. Per-destination policy
+// state is cleared on every switch (see Switch.SetPolicy).
+func (n *Network) SetRoutingPolicy(p routing.Policy) {
+	if p == nil {
+		p = routing.ECMP{}
+	}
+	n.policy = p
+	for _, sw := range n.switches {
+		sw.SetPolicy(p)
+	}
+}
+
+// RoutingPolicy returns the policy new switches receive.
+func (n *Network) RoutingPolicy() routing.Policy { return n.policy }
 
 // Sim returns the owning simulator.
 func (n *Network) Sim() *sim.Simulator { return n.sim }
@@ -439,12 +516,13 @@ func (n *Network) Host(id NodeID) *Host { return n.hosts[int(id)] }
 // Hosts returns all hosts.
 func (n *Network) Hosts() []*Host { return n.hosts }
 
-// AddSwitch creates a switch.
+// AddSwitch creates a switch running the network's routing policy.
 func (n *Network) AddSwitch() *Switch {
 	sw := &Switch{
-		id:   len(n.switches),
-		net:  n,
-		salt: mix64(uint64(len(n.switches))*0x9e3779b97f4a7c15 + 1),
+		id:     len(n.switches),
+		net:    n,
+		salt:   routing.Mix64(uint64(len(n.switches))*0x9e3779b97f4a7c15 + 1),
+		policy: n.policy,
 	}
 	n.switches = append(n.switches, sw)
 	return sw

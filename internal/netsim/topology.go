@@ -1,6 +1,9 @@
 package netsim
 
-import "falcon/internal/sim"
+import (
+	"falcon/internal/routing"
+	"falcon/internal/sim"
+)
 
 // Topology bundles a built network with handles experiments need.
 type Topology struct {
@@ -9,6 +12,12 @@ type Topology struct {
 	ToRs   []*Switch
 	Spines []*Switch
 }
+
+// SetRoutingPolicy installs p on every switch of the topology (and any
+// added later); see Network.SetRoutingPolicy. Experiments call this
+// right after building a topology to pit the transport against spray or
+// adaptive fabrics instead of the default flow-label ECMP.
+func (t *Topology) SetRoutingPolicy(p routing.Policy) { t.Net.SetRoutingPolicy(p) }
 
 // PointToPoint builds the paper's 1:1 experiment: two hosts joined by a
 // single switch. The returned forward port (switch -> host 1) is where loss
@@ -39,9 +48,10 @@ func Star(s *sim.Simulator, nHosts int, link LinkConfig) *Topology {
 
 // Clos builds a 3-stage topology: racks ToRs, each with hostsPerRack hosts,
 // fully meshed to spines spine switches. Inter-rack traffic takes
-// host -> ToR -> spine -> ToR -> host with the spine chosen by ECMP hash of
-// the frame's FlowHash, giving `spines` distinct paths per flow label — the
-// path diversity multipath load balancing exploits (§6.1.3).
+// host -> ToR -> spine -> ToR -> host with the spine chosen by the routing
+// policy (default: ECMP hash of the frame's FlowHash, giving `spines`
+// distinct paths per flow label — the path diversity multipath load
+// balancing exploits, §6.1.3; see SetRoutingPolicy for spray/adaptive).
 //
 // hostLink configures access links, fabricLink the ToR<->spine links. With
 // fabricLink.GbpsRate*spines < hostLink.GbpsRate*hostsPerRack the fabric is

@@ -1,0 +1,125 @@
+package routing
+
+// Gray-failure injection: scheduled fabric impairments that are harder
+// than clean link-down — flapping links, slow-but-up ports, correlated
+// rack outages. Every schedule is driven off the simulation clock with
+// typed actions (no capture closures, matching the netsim fast-path
+// discipline), so an injected failure is part of the same deterministic
+// event stream as the traffic it disturbs: two same-seed runs flap, slow
+// and recover at identical (time, seq) points and produce byte-identical
+// traces.
+//
+// The injector manipulates ports only through the narrow FailPort
+// control surface, which netsim.Port satisfies; routing therefore stays
+// import-free of netsim and the two packages compose without a cycle.
+
+import (
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// FailPort is the control surface the injector drives. netsim.Port
+// implements it: SetDown drops every frame while down (counted in the
+// port's DownDrops, never in RandomDrops), and SetRateGbps re-rates the
+// link for frames enqueued after the change without re-timing committed
+// bytes.
+type FailPort interface {
+	SetDown(down bool)
+	SetRateGbps(gbps float64)
+}
+
+// Injector schedules gray failures on fabric ports of one simulator.
+// All methods may be called before or during a run; schedules in the
+// past panic (the simulator refuses to rewrite history).
+type Injector struct {
+	s *sim.Simulator
+}
+
+// NewInjector returns an injector scheduling on s.
+func NewInjector(s *sim.Simulator) *Injector { return &Injector{s: s} }
+
+// flapEvent is the typed action behind Flap: each firing toggles the
+// port and re-arms itself until the configured down/up cycles are spent.
+type flapEvent struct {
+	s       *sim.Simulator
+	p       FailPort
+	downFor time.Duration
+	upFor   time.Duration
+	cycles  int  // down/up pairs still to run, including the current one
+	down    bool // true while the port is held down
+}
+
+// RunAction implements sim.Action.
+func (e *flapEvent) RunAction() {
+	if !e.down {
+		e.p.SetDown(true)
+		e.down = true
+		e.s.AtAction(e.s.Now().Add(e.downFor), e)
+		return
+	}
+	e.p.SetDown(false)
+	e.down = false
+	e.cycles--
+	if e.cycles > 0 {
+		e.s.AtAction(e.s.Now().Add(e.upFor), e)
+	}
+}
+
+// Flap schedules cycles down/up cycles on p: starting at start the port
+// goes down for downFor, comes back up for upFor, and repeats. The port
+// is guaranteed up again after the last cycle. cycles <= 0 is a no-op.
+func (in *Injector) Flap(p FailPort, start sim.Time, downFor, upFor time.Duration, cycles int) {
+	if cycles <= 0 {
+		return
+	}
+	in.s.AtAction(start, &flapEvent{s: in.s, p: p, downFor: downFor, upFor: upFor, cycles: cycles})
+}
+
+// rateEvent is the typed action behind Slow: one firing applies one
+// rate.
+type rateEvent struct {
+	p    FailPort
+	gbps float64
+}
+
+// RunAction implements sim.Action.
+func (e *rateEvent) RunAction() { e.p.SetRateGbps(e.gbps) }
+
+// Slow degrades p to slowGbps at time at without downing it — the
+// classic gray failure: the link stays "healthy" (no down_drops) while
+// serialization stretches and its queue backs up. If recoverAfter > 0
+// the port is restored to restoreGbps that long after the degrade.
+func (in *Injector) Slow(p FailPort, at sim.Time, slowGbps float64, recoverAfter time.Duration, restoreGbps float64) {
+	in.s.AtAction(at, &rateEvent{p: p, gbps: slowGbps})
+	if recoverAfter > 0 {
+		in.s.AtAction(at.Add(recoverAfter), &rateEvent{p: p, gbps: restoreGbps})
+	}
+}
+
+// outageEvent is the typed action behind RackOutage: one firing moves
+// every port of the group to one administrative state.
+type outageEvent struct {
+	ports []FailPort
+	down  bool
+}
+
+// RunAction implements sim.Action.
+func (e *outageEvent) RunAction() {
+	for _, p := range e.ports {
+		p.SetDown(e.down)
+	}
+}
+
+// RackOutage downs every port in the group at time at and restores all
+// of them outageFor later — the correlated failure a ToR power event
+// causes, as opposed to the independent single-link failures Flap
+// models. Both transitions happen at a single instant each, so every
+// port in the group fails (and recovers) atomically in virtual time.
+func (in *Injector) RackOutage(ports []FailPort, at sim.Time, outageFor time.Duration) {
+	if len(ports) == 0 {
+		return
+	}
+	in.s.AtAction(at, &outageEvent{ports: ports, down: true})
+	in.s.AtAction(at.Add(outageFor), &outageEvent{ports: ports, down: false})
+}

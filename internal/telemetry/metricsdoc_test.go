@@ -42,6 +42,7 @@ func emittedMetricNames(t *testing.T) ([]string, []string) {
 	telemetry.CollectTL(reg, "doc", epA.TL())
 	telemetry.CollectNIC(reg, "doc", a.NIC())
 	telemetry.CollectPort(reg, "doc/fwd", fwd)
+	telemetry.CollectUplinks(reg, "doc/tor0", []*netsim.Port{fwd, topo.Hosts[0].Uplink()})
 	telemetry.CollectFAE(reg, "doc", a.Engine())
 	telemetry.ObserveFAE(reg, "doc", a.Engine())
 

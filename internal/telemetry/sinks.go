@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"strconv"
+
 	"falcon/internal/falcon/fae"
 	"falcon/internal/falcon/pdl"
 	"falcon/internal/falcon/tl"
@@ -123,6 +125,55 @@ func CollectPort(r *Registry, prefix string, p *netsim.Port) {
 		emit(prefix+"/port/ecn_marks", float64(s.ECNMarks))
 		emit(prefix+"/port/max_queue_bytes", float64(s.MaxQueueBytes))
 		emit(prefix+"/port/queued_bytes", float64(p.QueuedBytes()))
+	})
+}
+
+// CollectUplinks registers a snapshot collector over one equal-cost
+// uplink group (a switch's RouteTo port set): per-uplink frame/byte
+// counters plus the spread summary that makes routing-policy balance
+// measurable — min/max/total frames and bytes, the relative imbalance,
+// and the group's cumulative down-link drops (gray-failure loss). Names
+// land under the "routing" layer: "<prefix>/upN/routing/<metric>" per
+// uplink and "<prefix>/routing/<metric>" for the aggregates.
+func CollectUplinks(r *Registry, prefix string, ports []*netsim.Port) {
+	r.OnSnapshot(func(emit func(string, float64)) {
+		var minF, maxF, totF uint64
+		var minB, maxB, totB uint64
+		var downDrops uint64
+		for i, p := range ports {
+			s := p.Stats
+			up := prefix + "/up" + strconv.Itoa(i)
+			emit(up+"/routing/tx_frames", float64(s.TxFrames))
+			emit(up+"/routing/tx_bytes", float64(s.TxBytes))
+			if i == 0 || s.TxFrames < minF {
+				minF = s.TxFrames
+			}
+			if s.TxFrames > maxF {
+				maxF = s.TxFrames
+			}
+			if i == 0 || s.TxBytes < minB {
+				minB = s.TxBytes
+			}
+			if s.TxBytes > maxB {
+				maxB = s.TxBytes
+			}
+			totF += s.TxFrames
+			totB += s.TxBytes
+			downDrops += s.DownDrops
+		}
+		emit(prefix+"/routing/uplinks", float64(len(ports)))
+		emit(prefix+"/routing/frames_total", float64(totF))
+		emit(prefix+"/routing/frames_min", float64(minF))
+		emit(prefix+"/routing/frames_max", float64(maxF))
+		emit(prefix+"/routing/bytes_total", float64(totB))
+		emit(prefix+"/routing/bytes_min", float64(minB))
+		emit(prefix+"/routing/bytes_max", float64(maxB))
+		spread := 0.0
+		if maxF > 0 {
+			spread = float64(maxF-minF) * 100 / float64(maxF)
+		}
+		emit(prefix+"/routing/spread_pct", spread)
+		emit(prefix+"/routing/down_drops_total", float64(downDrops))
 	})
 }
 
