@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test short race sweep fuzz vet bench metrics perfcheck lakecheck ci
+.PHONY: all build test short race sweep fuzz vet bench metrics perfcheck lakecheck chaoscheck ci
 
-all: build vet test perfcheck lakecheck
+all: build vet test perfcheck lakecheck chaoscheck
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,8 @@ metrics:
 		-metrics BENCH_pr3_metrics.json -series BENCH_pr3_series
 	$(GO) run ./cmd/falconbench -quick -run 'figRouting|figGrayFailure' \
 		-metrics BENCH_pr8_metrics.json
+	$(GO) run ./cmd/falconbench -quick -run 'figStorm|figEndpointFault' \
+		-metrics BENCH_pr9_metrics.json
 
 # Fast-path regression gate: the zero-alloc assertions on the fabric hot
 # path (port send, switch forward with every routing policy, host
@@ -88,18 +90,39 @@ perfcheck:
 lakecheck:
 	$(GO) run ./cmd/falconlake ingest -out /tmp/falconlake_a.idx \
 		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json \
-		BENCH_pr8_metrics.json
+		BENCH_pr8_metrics.json BENCH_pr9_metrics.json
 	$(GO) run ./cmd/falconlake ingest -out /tmp/falconlake_b.idx \
 		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json \
-		BENCH_pr8_metrics.json
+		BENCH_pr8_metrics.json BENCH_pr9_metrics.json
 	cmp /tmp/falconlake_a.idx /tmp/falconlake_b.idx
 	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr3 pr3
 	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr8 pr8
+	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr9 pr9
 	$(GO) run ./cmd/falconlake list -index /tmp/falconlake_a.idx
 	rm -f /tmp/falconlake_a.idx /tmp/falconlake_b.idx
 	$(GO) test -run 'TestLake|TestDiff|TestQuerier|TestParsePath|TestPathClass' ./internal/lake/
 	$(GO) test -run 'TestMetricsDocComplete' ./internal/telemetry/
 	$(GO) test -run 'TestPackageDocLint' ./internal/testkit/
+
+# Chaos gate (see DESIGN.md §14, EXPERIMENTS.md PR 9): storm campaigns are
+# part of the deterministic event stream, so the gate is exact — two
+# falconbench runs under the same -storm seed must write byte-identical
+# metrics JSON (the whole chaos telemetry layer is exact-class, recovery
+# gaps included), the frame-conservation ledger must close for every storm
+# and endpoint-fault scenario, and the 3-seed short sweep runs under the
+# race detector so fault injection is checked against real transport
+# traffic, not just replayed tables.
+chaoscheck:
+	$(GO) run ./cmd/falconbench -quick -storm 71 \
+		-metrics /tmp/falconstorm_a.json >/dev/null
+	$(GO) run ./cmd/falconbench -quick -storm 71 \
+		-metrics /tmp/falconstorm_b.json >/dev/null
+	cmp /tmp/falconstorm_a.json /tmp/falconstorm_b.json
+	rm -f /tmp/falconstorm_a.json /tmp/falconstorm_b.json
+	$(GO) test ./internal/chaos/
+	$(GO) test -run 'TestStormLedgerHolds|TestEndpointFaultOutcomes|TestStormSeedOverride' \
+		./internal/experiments/
+	$(GO) test -race -run 'TestStormSweepShort|TestStormDeterminism' ./internal/experiments/
 
 # Regenerate every table at full measurement windows (several minutes).
 bench-full:

@@ -28,6 +28,13 @@
 //	                                   # per policy, but non-ecmp tables
 //	                                   # legitimately differ from committed
 //	                                   # baselines
+//	falconbench -storm 71              # run the storm figures under one
+//	                                   # campaign seed; with no -run the
+//	                                   # selection defaults to the storm
+//	                                   # figures. Two invocations with the
+//	                                   # same seed write byte-identical
+//	                                   # -metrics JSON (chaoscheck relies
+//	                                   # on this)
 //	falconbench -legacyhotpath         # A/B the legacy transport hot path
 //	                                   # (map tables, heap packets, per-PSN
 //	                                   # scans); tables must be identical
@@ -66,6 +73,7 @@ func main() {
 	sched := flag.String("sched", "wheel", "event scheduler: wheel (default) or heap (reference)")
 	routingPolicy := flag.String("routing", "ecmp", "fabric uplink policy for every topology: ecmp (default), spray, or adaptive")
 	legacyHotPath := flag.Bool("legacyhotpath", false, "run the transport on the legacy hot path oracle (map tables, heap packets, per-PSN scans)")
+	storm := flag.Int64("storm", 0, "override the storm campaign seed for figStorm/figEndpointFault; with no -run, selects just the storm figures")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file")
 	flag.Parse()
@@ -92,6 +100,12 @@ func main() {
 		os.Exit(2)
 	}
 	netsim.SetDefaultPolicy(pol)
+	if *storm != 0 {
+		experiments.SetStormSeed(*storm)
+		if *run == "" {
+			*run = "figStorm|figEndpointFault"
+		}
+	}
 	var re *regexp.Regexp
 	if *run != "" {
 		var err error

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path"
 
 	"falcon/internal/experiments"
 	"falcon/internal/lake"
@@ -26,6 +27,7 @@ func cmdWatch(args []string) {
 	perftol := fs.Float64("perftol", 0, "regression tolerance for perf-class metrics (default 0.25)")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	keep := fs.String("keep", "", "also write the regenerated artifact to this path")
+	figure := fs.String("figure", "", "glob of baseline figures to regenerate (e.g. 'figStorm' or 'fig1*'); default: all")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "falconlake watch: need exactly one baseline artifact path")
@@ -50,11 +52,29 @@ func cmdWatch(args []string) {
 
 	// Re-run exactly the baseline's figure set, in registry order, with
 	// the baseline's quick flag — the regenerated artifact is then
-	// cell-for-cell comparable.
+	// cell-for-cell comparable. -figure narrows the set to a glob, for
+	// fast iteration on one figure of a multi-figure artifact; the
+	// baseline is filtered to the same subset so the diff stays
+	// cell-for-cell.
 	want := make(map[string]bool, len(baseline.Figures))
+	var kept []experiments.FigureMetrics
 	for _, f := range baseline.Figures {
+		if *figure != "" {
+			ok, err := path.Match(*figure, f.Name)
+			if err != nil {
+				fatal(fmt.Errorf("bad -figure glob %q: %v", *figure, err))
+			}
+			if !ok {
+				continue
+			}
+		}
 		want[f.Name] = true
+		kept = append(kept, f)
 	}
+	if len(kept) == 0 {
+		fatal(fmt.Errorf("%s: no baseline figure matches -figure %q", baselinePath, *figure))
+	}
+	baseline.Figures = kept
 	var entries []experiments.Entry
 	for _, e := range experiments.Registry() {
 		if want[e.Name] {
@@ -92,7 +112,14 @@ func cmdWatch(args []string) {
 		fatal(err)
 	}
 	bld := lake.NewBuilder()
-	if err := bld.IngestFile("baseline", baselinePath); err != nil {
+	// Ingest the (possibly -figure-filtered) baseline from memory, not the
+	// file: a narrowed regeneration must diff against the same subset or
+	// every skipped figure reads as a missing metric.
+	var base bytes.Buffer
+	if err := baseline.WriteJSON(&base); err != nil {
+		fatal(err)
+	}
+	if err := bld.IngestMetricsJSON("baseline", &base, baselinePath); err != nil {
 		fatal(err)
 	}
 	if err := bld.IngestMetricsJSON("current", &buf, "(regenerated)"); err != nil {

@@ -1,0 +1,290 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"falcon/internal/netsim"
+	"falcon/internal/routing"
+	"falcon/internal/sim"
+)
+
+func fullSpec() Spec {
+	return Spec{
+		Events:      12,
+		Start:       sim.Time(1 * time.Millisecond),
+		End:         sim.Time(5 * time.Millisecond),
+		Uplinks:     4,
+		HostPorts:   8,
+		Hosts:       8,
+		Crashers:    8,
+		Stallers:    4,
+		Teardown:    true,
+		RestoreGbps: 200,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(42, fullSpec())
+	b := Generate(42, fullSpec())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different plans:\n%+v\n%+v", a, b)
+	}
+	c := Generate(43, fullSpec())
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("different seeds produced identical event lists")
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	sp := fullSpec()
+	for seed := int64(1); seed <= 50; seed++ {
+		p := Generate(seed, sp)
+		if len(p.Events) != sp.Events {
+			t.Fatalf("seed %d: got %d events, want %d", seed, len(p.Events), sp.Events)
+		}
+		for i, ev := range p.Events {
+			if ev.At < sp.Start || ev.Clear() > sp.End {
+				t.Fatalf("seed %d event %d outside window: at=%v clear=%v", seed, i, ev.At, ev.Clear())
+			}
+			n := sp.kindTargets(ev.Kind)
+			if ev.Target < 0 || ev.Target >= n {
+				t.Fatalf("seed %d event %d target %d out of range [0,%d)", seed, i, ev.Target, n)
+			}
+			if ev.Kind == KindFlap && ev.Cycles < 1 {
+				t.Fatalf("flap with %d cycles", ev.Cycles)
+			}
+			if ev.Kind == KindCorrupt && (ev.Prob <= 0 || ev.Prob >= 1) {
+				t.Fatalf("corrupt prob %v out of (0,1)", ev.Prob)
+			}
+			if ev.Kind == KindSlow && (ev.Gbps <= 0 || ev.Gbps >= sp.RestoreGbps) {
+				t.Fatalf("slow gbps %v not a degradation of %v", ev.Gbps, sp.RestoreGbps)
+			}
+		}
+		if p.FaultStart() < sp.Start || p.FaultClear() > sp.End {
+			t.Fatalf("seed %d: fault window [%v,%v] outside spec window", seed, p.FaultStart(), p.FaultClear())
+		}
+	}
+}
+
+func TestGenerateDisabledKinds(t *testing.T) {
+	sp := fullSpec()
+	sp.Crashers = 0
+	sp.Stallers = 0
+	sp.Events = 200
+	p := Generate(7, sp)
+	for _, ev := range p.Events {
+		if ev.Kind == KindCrash || ev.Kind == KindRNRStall {
+			t.Fatalf("disabled kind %v generated", ev.Kind)
+		}
+	}
+	if Generate(7, Spec{Events: 5}).Events != nil {
+		t.Fatalf("spec with no targets should yield empty plan")
+	}
+}
+
+// TestKindStrings pins the names experiment tables print.
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindFlap: "flap", KindSlow: "slow", KindOutage: "outage",
+		KindBlackhole: "blackhole", KindCorrupt: "corrupt",
+		KindPause: "pause", KindCrash: "crash", KindRNRStall: "rnr_stall",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatalf("out-of-range kind should stringify as unknown")
+	}
+}
+
+// pump drives a steady frame stream h0 -> h1 for envelope/ledger tests.
+// Test files are exempt from the typed-action lint, so a closure is fine.
+func pump(s *sim.Simulator, src, dst *netsim.Host, every time.Duration, until sim.Time, delivered *uint64) {
+	var tick func()
+	tick = func() {
+		f := src.NewFrame()
+		f.Dst = dst.ID
+		f.Size = 1000
+		src.Send(f)
+		if s.Now().Add(every) <= until {
+			s.After(every, tick)
+		}
+	}
+	dst.SetHandler(netsim.HandlerFunc(func(f *netsim.Frame) {
+		*delivered += uint64(f.Size)
+	}))
+	s.After(every, tick)
+}
+
+func TestEnvelopeRecovery(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := netsim.PointToPoint(s, netsim.LinkConfig{GbpsRate: 100, PropDelay: time.Microsecond})
+	h0, h1 := topo.Hosts[0], topo.Hosts[1]
+	end := sim.Time(10 * time.Millisecond)
+
+	var delivered uint64
+	pump(s, h0, h1, 10*time.Microsecond, end, &delivered)
+	env := NewEnvelope(s, &delivered, 500*time.Microsecond, end)
+
+	// Pause the receiver for [3ms, 5ms): goodput drops to zero, then
+	// returns to baseline the moment the pause lifts.
+	faultStart := sim.Time(3 * time.Millisecond)
+	faultClear := sim.Time(5 * time.Millisecond)
+	s.At(faultStart, func() { h1.SetPaused(true) })
+	s.At(faultClear, func() { h1.SetPaused(false) })
+
+	s.Run()
+	r := env.Finish(faultStart, faultClear, 80)
+	if r.BaselineMbps == 0 {
+		t.Fatalf("no baseline goodput measured: %+v", r)
+	}
+	if r.StormMbps >= r.BaselineMbps {
+		t.Fatalf("storm goodput %d did not dip below baseline %d", r.StormMbps, r.BaselineMbps)
+	}
+	if !r.Recovered {
+		t.Fatalf("recovery not detected: %+v", r)
+	}
+	// Recovery uses a 3-bucket trailing median, so the gap is bounded by
+	// a few buckets past fault clear.
+	if max := int64(4 * 500 * time.Microsecond); r.RecoveryNs > max {
+		t.Fatalf("recovery took %dns, want <= %d", r.RecoveryNs, max)
+	}
+	l := Audit(topo.Net)
+	if !l.Balanced() {
+		t.Fatalf("ledger unbalanced: %s", l)
+	}
+	if l.PauseRxDrops == 0 {
+		t.Fatalf("pause window counted no PauseRxDrops: %s", l)
+	}
+}
+
+func TestEnvelopeNoRecovery(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := netsim.PointToPoint(s, netsim.LinkConfig{GbpsRate: 100, PropDelay: time.Microsecond})
+	h0, h1 := topo.Hosts[0], topo.Hosts[1]
+	end := sim.Time(6 * time.Millisecond)
+
+	var delivered uint64
+	pump(s, h0, h1, 10*time.Microsecond, end, &delivered)
+	env := NewEnvelope(s, &delivered, 500*time.Microsecond, end)
+
+	// Fault never clears within the run: pause from 2ms to past the end.
+	faultStart := sim.Time(2 * time.Millisecond)
+	s.At(faultStart, func() { h1.SetPaused(true) })
+
+	s.Run()
+	r := env.Finish(faultStart, end, 80)
+	if r.Recovered {
+		t.Fatalf("recovery reported for a fault that never cleared: %+v", r)
+	}
+	if r.TailMbps != 0 {
+		t.Fatalf("tail goodput %d for an uncleared fault", r.TailMbps)
+	}
+}
+
+// TestApplyEndpointFaults drives one storm of every endpoint kind on a
+// tiny fabric and checks the drop counters and ledger close.
+func TestApplyEndpointFaults(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := netsim.PointToPoint(s, netsim.LinkConfig{GbpsRate: 100, PropDelay: time.Microsecond})
+	h0, h1 := topo.Hosts[0], topo.Hosts[1]
+	end := sim.Time(12 * time.Millisecond)
+
+	var delivered uint64
+	pump(s, h0, h1, 10*time.Microsecond, end, &delivered)
+
+	ms := func(n int) sim.Time { return sim.Time(time.Duration(n) * time.Millisecond) }
+	plan := Plan{Seed: 1, RestoreGbps: 100, Events: []Event{
+		{Kind: KindBlackhole, Target: 0, At: ms(1), For: time.Millisecond},
+		{Kind: KindCorrupt, Target: 0, At: ms(3), For: time.Millisecond, Prob: 0.5},
+		{Kind: KindPause, Target: 1, At: ms(5), For: time.Millisecond},
+		{Kind: KindCrash, Target: 1, At: ms(7), For: time.Millisecond},
+	}}
+	inj := routing.NewInjector(s)
+	Apply(s, inj, Targets{
+		Uplinks:   []FabricPort{h0.Uplink()},
+		HostPorts: []FabricPort{h0.Uplink(), h1.Uplink()},
+		Hosts:     []Host{h0, h1},
+		Crashers:  []Crasher{nil, nil},
+	}, plan)
+
+	s.Run()
+	up := h0.Uplink()
+	if up.Stats.DownDrops == 0 {
+		t.Fatalf("blackhole window dropped nothing")
+	}
+	if up.Stats.CorruptDrops == 0 {
+		t.Fatalf("corruption window dropped nothing")
+	}
+	if h1.PauseRxDrops == 0 {
+		t.Fatalf("pause/crash windows dropped nothing at the receiver")
+	}
+	if h1.Paused() || up.Down() {
+		t.Fatalf("faults not all restored: paused=%v down=%v", h1.Paused(), up.Down())
+	}
+	l := Audit(topo.Net)
+	if !l.Balanced() {
+		t.Fatalf("ledger unbalanced: %s", l)
+	}
+	if l.Sent != l.Delivered+l.DownDrops+l.CorruptDrops+l.PauseRxDrops {
+		t.Fatalf("unexpected drop attribution: %s", l)
+	}
+}
+
+// TestApplyFabricKindsCompose checks the fabric kinds route through the
+// injector and nest with each other (overlapping windows on one port).
+func TestApplyFabricKindsCompose(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := netsim.PointToPoint(s, netsim.LinkConfig{GbpsRate: 100, PropDelay: time.Microsecond})
+	h0, h1 := topo.Hosts[0], topo.Hosts[1]
+	end := sim.Time(12 * time.Millisecond)
+
+	var delivered uint64
+	pump(s, h0, h1, 10*time.Microsecond, end, &delivered)
+
+	ms := func(n int) sim.Time { return sim.Time(time.Duration(n) * time.Millisecond) }
+	// Two overlapping events on the same uplink: a 2-cycle flap inside a
+	// wider 2-port outage (the port pair here is the same port twice is
+	// not allowed — use two real targets on distinct ports).
+	plan := Plan{Seed: 1, RestoreGbps: 100, Events: []Event{
+		{Kind: KindOutage, Target: 0, At: ms(2), For: 3 * time.Millisecond},
+		{Kind: KindFlap, Target: 0, At: ms(3), For: time.Millisecond, Cycles: 2},
+		{Kind: KindSlow, Target: 1, At: ms(6), For: 2 * time.Millisecond, Gbps: 10},
+	}}
+	inj := routing.NewInjector(s)
+	Apply(s, inj, Targets{
+		Uplinks: []FabricPort{h0.Uplink(), h1.Uplink()},
+	}, plan)
+
+	s.Run()
+	if h0.Uplink().Down() || h1.Uplink().Down() {
+		t.Fatalf("overlapping fabric faults left a port down")
+	}
+	if h0.Uplink().Stats.DownDrops == 0 {
+		t.Fatalf("outage+flap dropped nothing")
+	}
+	l := Audit(topo.Net)
+	if !l.Balanced() {
+		t.Fatalf("ledger unbalanced: %s", l)
+	}
+}
+
+func TestMedian3(t *testing.T) {
+	d := []uint64{5, 1, 9, 3}
+	if got := median3(d, 0); got != 5 {
+		t.Fatalf("median3 at 0 = %d, want 5", got)
+	}
+	if got := median3(d, 1); got != 5 { // window {5,1}, upper median
+		t.Fatalf("median3 at 1 = %d, want 5", got)
+	}
+	if got := median3(d, 2); got != 5 { // {5,1,9}
+		t.Fatalf("median3 at 2 = %d, want 5", got)
+	}
+	if got := median3(d, 3); got != 3 { // {1,9,3}
+		t.Fatalf("median3 at 3 = %d, want 3", got)
+	}
+}

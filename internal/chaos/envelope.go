@@ -1,0 +1,162 @@
+package chaos
+
+// The recovery-envelope verifier: sample cumulative delivered bytes on a
+// fixed virtual-clock grid during a storm, then derive how long after the
+// last fault cleared the workload's goodput re-entered a percentage band
+// of its pre-fault baseline. Everything is integer arithmetic over
+// virtual-clock samples, so envelope results are part of the same-seed
+// byte-determinism contract (the chaos telemetry layer is exact-class).
+
+import (
+	"time"
+
+	"falcon/internal/sim"
+)
+
+// Envelope samples a cumulative delivered-bytes counter every interval.
+// The counter pointer is read lazily at each tick — the workload just
+// increments its own uint64; no callback runs on the delivery path.
+type Envelope struct {
+	s         *sim.Simulator
+	delivered *uint64
+	interval  time.Duration
+	start     sim.Time
+	samples   []uint64
+}
+
+// envTick is the pooled typed action behind the sampling grid: one
+// allocation per envelope, re-armed until the bound.
+type envTick struct {
+	e     *Envelope
+	until sim.Time
+}
+
+// RunAction implements sim.Action.
+func (t *envTick) RunAction() {
+	e := t.e
+	e.samples = append(e.samples, *e.delivered)
+	next := e.s.Now().Add(e.interval)
+	if next <= t.until {
+		e.s.AtAction(next, t)
+	}
+}
+
+// NewEnvelope starts sampling *delivered every interval from the current
+// virtual time until `until` (inclusive). The first sample is taken
+// immediately, so sample i covers bucket [start+i*interval, +interval).
+func NewEnvelope(s *sim.Simulator, delivered *uint64, interval time.Duration, until sim.Time) *Envelope {
+	e := &Envelope{s: s, delivered: delivered, interval: interval, start: s.Now()}
+	e.samples = append(e.samples, *delivered)
+	tick := &envTick{e: e, until: until}
+	s.AtAction(e.start.Add(interval), tick)
+	return e
+}
+
+// Result is the measured recovery envelope of one storm run. All values
+// are integers derived from virtual-clock samples: exact-class metrics.
+type Result struct {
+	// BaselineMbps is the mean goodput over fully-pre-fault buckets.
+	BaselineMbps uint64
+	// StormMbps is the mean goodput over buckets overlapping the fault
+	// window — the depth of the dip.
+	StormMbps uint64
+	// TailMbps is the mean goodput over buckets after the last fault
+	// cleared.
+	TailMbps uint64
+	// Recovered reports whether the trailing-median goodput re-entered
+	// the pct band of the baseline after fault clear.
+	Recovered bool
+	// RecoveryNs is the virtual-clock gap from fault clear to the end of
+	// the first bucket whose trailing 3-bucket median goodput reached
+	// pct% of baseline; 0 when Recovered is false (or when recovery was
+	// instant — disambiguate with Recovered).
+	RecoveryNs int64
+}
+
+// mbps converts bytes-per-bucket to megabits/s (integer arithmetic).
+func (e *Envelope) mbps(bytesPerBucket uint64) uint64 {
+	ns := uint64(e.interval.Nanoseconds())
+	if ns == 0 {
+		return 0
+	}
+	return bytesPerBucket * 8 * 1000 / ns
+}
+
+// median3 returns the median of the up-to-3 trailing deltas ending at i.
+func median3(deltas []uint64, i int) uint64 {
+	lo := i - 2
+	if lo < 0 {
+		lo = 0
+	}
+	w := append([]uint64(nil), deltas[lo:i+1]...)
+	for a := 1; a < len(w); a++ { // tiny insertion sort
+		for b := a; b > 0 && w[b] < w[b-1]; b-- {
+			w[b], w[b-1] = w[b-1], w[b]
+		}
+	}
+	return w[len(w)/2]
+}
+
+// Finish derives the envelope against a fault window [faultStart,
+// faultClear] and a recovery threshold of pct percent of baseline.
+// Call it after the run has passed the sampling bound.
+func (e *Envelope) Finish(faultStart, faultClear sim.Time, pct int) Result {
+	var r Result
+	n := len(e.samples) - 1 // deltas
+	if n <= 0 {
+		return r
+	}
+	deltas := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		deltas[i] = e.samples[i+1] - e.samples[i]
+	}
+	bucketEnd := func(i int) sim.Time {
+		return e.start.Add(time.Duration(i+1) * e.interval)
+	}
+	var baseSum, stormSum, tailSum uint64
+	var baseN, stormN, tailN int
+	for i := 0; i < n; i++ {
+		end := bucketEnd(i)
+		begin := end.Add(-e.interval)
+		switch {
+		case end <= faultStart:
+			baseSum += deltas[i]
+			baseN++
+		case begin >= faultClear:
+			tailSum += deltas[i]
+			tailN++
+		default:
+			stormSum += deltas[i]
+			stormN++
+		}
+	}
+	var baseAvg uint64
+	if baseN > 0 {
+		baseAvg = baseSum / uint64(baseN)
+		r.BaselineMbps = e.mbps(baseAvg)
+	}
+	if stormN > 0 {
+		r.StormMbps = e.mbps(stormSum / uint64(stormN))
+	}
+	if tailN > 0 {
+		r.TailMbps = e.mbps(tailSum / uint64(tailN))
+	}
+	if baseAvg == 0 {
+		return r // no pre-fault traffic: recovery is undefined
+	}
+	for i := 0; i < n; i++ {
+		end := bucketEnd(i)
+		if end < faultClear {
+			continue
+		}
+		if median3(deltas, i)*100 >= baseAvg*uint64(pct) {
+			r.Recovered = true
+			r.RecoveryNs = int64(end.Sub(faultClear))
+			if r.RecoveryNs < 0 {
+				r.RecoveryNs = 0
+			}
+			return r
+		}
+	}
+	return r
+}

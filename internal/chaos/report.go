@@ -1,0 +1,34 @@
+package chaos
+
+// Report is the measured outcome of one storm run — the payload behind the
+// exact-class `chaos` telemetry layer. Experiments fill it after the run
+// drains; telemetry.CollectChaos turns it into metrics. Every field is an
+// integer derived from virtual-clock state, so same-seed runs produce
+// byte-identical reports.
+type Report struct {
+	// Envelope is the recovery envelope (baseline / storm / tail goodput
+	// and the fault-clear-to-recovery gap).
+	Envelope Result
+	// Ledger is the post-drain frame-conservation audit.
+	Ledger Ledger
+	// Events is the number of fault events the plan scheduled.
+	Events uint64
+	// Retransmits is the transport's total retransmit count for the run;
+	// with BaselineRetransmits from a fault-free twin it yields the
+	// storm's retransmit amplification.
+	Retransmits uint64
+	// BaselineRetransmits is the same counter from the fault-free
+	// baseline run (0 when no twin was run).
+	BaselineRetransmits uint64
+	// RTODepth is the deepest consecutive-RTO escalation any connection
+	// reached (pdl Stats.MaxConsecRTOs max'd over connections).
+	RTODepth uint64
+	// ConnsTotal / ConnsSurvived / ConnsFailed count connections at run
+	// end: survived connections quiesced cleanly, failed ones died (crash
+	// teardown or RTO budget exhaustion).
+	ConnsTotal    uint64
+	ConnsSurvived uint64
+	ConnsFailed   uint64
+	// Completed is the number of workload operations that finished.
+	Completed uint64
+}

@@ -182,6 +182,31 @@ func (n *Node) Resources() *tl.Resources { return n.res }
 // Engine returns the node's FAE.
 func (n *Node) Engine() *fae.Engine { return n.engine }
 
+// Crash tears down every connection terminating at this node, modeling a
+// host crash whose connection state does not survive the restart: each
+// endpoint's PDL is declared dead (erroring all pending transactions
+// through the TL) and the endpoint is closed, so packets still in flight
+// for those connections are dropped as stale on arrival. Peers are NOT
+// notified in-band — exactly like a real crash, the remote side discovers
+// the death through its own RTO budget. Connections are torn down in
+// ascending connection-ID order so the fault is deterministic. Returns the
+// number of connections torn down. Freezing the host around the crash
+// window (netsim.Host.SetPaused) is the caller's job; a crash whose
+// connection state survives is just a pause with no Crash call.
+func (n *Node) Crash() int {
+	ids := make([]uint32, 0, len(n.conns))
+	for id := range n.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ep := n.conns[id]
+		ep.pdl.Fail()
+		ep.Close()
+	}
+	return len(ids)
+}
+
 // rxJob is the pooled NIC-ingress pass for one arriving packet: it runs
 // after the pipeline's admission delay, hands the packet to the PDL, and
 // returns it to the cluster pool (no layer above retains inbound packets —

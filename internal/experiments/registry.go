@@ -84,6 +84,16 @@ var registry = []Entry{
 	}, RunTel: func(q bool, tel *telemetry.Suite) *Table {
 		return FigGrayFailureTel(windows(4*time.Millisecond, 2*time.Millisecond)(q), tel)
 	}},
+	{Name: "figStorm", Desc: "Falcon vs RoCE under identical seeded fault storms", Run: func(q bool) *Table {
+		return FigStorm(windows(4*time.Millisecond, 2*time.Millisecond)(q))
+	}, RunTel: func(q bool, tel *telemetry.Suite) *Table {
+		return FigStormTel(windows(4*time.Millisecond, 2*time.Millisecond)(q), tel)
+	}},
+	{Name: "figEndpointFault", Desc: "endpoint fault classes: pause/crash/blackhole/corrupt/RNR", Run: func(q bool) *Table {
+		return FigEndpointFault(windows(8*time.Millisecond, 4*time.Millisecond)(q))
+	}, RunTel: func(q bool, tel *telemetry.Suite) *Table {
+		return FigEndpointFaultTel(windows(8*time.Millisecond, 4*time.Millisecond)(q), tel)
+	}},
 	{Name: "fig18", Desc: "ML training comm time (multipath)", Run: func(q bool) *Table {
 		return Fig18()
 	}},

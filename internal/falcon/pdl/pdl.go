@@ -409,6 +409,12 @@ type Stats struct {
 	NacksRnr      uint64
 	NacksResource uint64
 	NacksCie      uint64
+
+	// MaxConsecRTOs is the deepest RTO-backoff escalation observed: the
+	// longest run of timeouts without ACK progress. It measures how close
+	// the connection came to its MaxConsecutiveRTOs death budget during a
+	// fault — the chaos recovery envelope's escalation-depth metric.
+	MaxConsecRTOs uint64
 }
 
 // Conn is one Falcon connection's PDL instance (one direction's sender and

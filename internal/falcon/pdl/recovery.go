@@ -222,6 +222,9 @@ func (c *Conn) onRTO() {
 	}
 	c.Stats.RTOs++
 	c.consecRTOs++
+	if uint64(c.consecRTOs) > c.Stats.MaxConsecRTOs {
+		c.Stats.MaxConsecRTOs = uint64(c.consecRTOs)
+	}
 	if c.cfg.MaxConsecutiveRTOs > 0 && c.consecRTOs >= c.cfg.MaxConsecutiveRTOs {
 		c.fail()
 		return
@@ -333,3 +336,10 @@ func (c *Conn) fail() {
 		c.cb.Failed(ErrConnectionLost)
 	}
 }
+
+// Fail declares the connection administratively dead from outside the
+// transport — the teardown edge of a crash-without-recovery fault. It runs
+// the same path as RTO-budget exhaustion: timers stop, queued and unacked
+// packets return to the pool, and the Failed callback errors everything
+// the TL still has pending. Idempotent, like the internal failure path.
+func (c *Conn) Fail() { c.fail() }

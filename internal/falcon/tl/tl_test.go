@@ -480,3 +480,72 @@ func TestPoolKindStrings(t *testing.T) {
 	_ = BackpressureStatic.String()
 	_ = BackpressureDynamic.String()
 }
+
+// TestRNRSustainedStallLossless is the RNR liveness property behind the
+// chaos rnr_stall scenario: however long the target stalls and whatever
+// the retry cadence, a sustained receiver-not-ready window never DROPS a
+// transaction — every push eventually completes successfully once the
+// target unstalls, and the target still observes them in RSN order (the
+// retry path must not leak an op past a younger one). Swept over several
+// stall-window / retry-delay combinations rather than a single lucky
+// alignment.
+func TestRNRSustainedStallLossless(t *testing.T) {
+	cases := []struct {
+		stallFor   time.Duration
+		retryDelay time.Duration
+	}{
+		{200 * time.Microsecond, 10 * time.Microsecond},
+		{500 * time.Microsecond, 35 * time.Microsecond},
+		{1 * time.Millisecond, 75 * time.Microsecond},
+		{333 * time.Microsecond, 7 * time.Microsecond},
+	}
+	const ops = 12
+	for _, tc := range cases {
+		e := newEnv(t, DefaultConfig())
+		stalled := true
+		e.handlerB.verdict = func(rsn uint64) TargetVerdict {
+			if stalled {
+				return TargetVerdict{Kind: TargetRNR, RetryDelay: tc.retryDelay}
+			}
+			return TargetVerdict{}
+		}
+		e.s.After(tc.stallFor, func() { stalled = false })
+
+		fails := 0
+		for i := 0; i < ops; i++ {
+			if _, err := e.a.Push(nil, 512, func(_ []byte, err error) {
+				if err != nil {
+					fails++
+				}
+			}); err != nil {
+				t.Fatalf("stall=%v retry=%v: Push(%d): %v", tc.stallFor, tc.retryDelay, i, err)
+			}
+		}
+		e.s.Run()
+
+		if fails != 0 {
+			t.Errorf("stall=%v retry=%v: %d pushes completed in error — RNR dropped transactions",
+				tc.stallFor, tc.retryDelay, fails)
+		}
+		completed := e.handlerB.pushes
+		if len(completed) != ops {
+			t.Errorf("stall=%v retry=%v: target accepted %d of %d pushes",
+				tc.stallFor, tc.retryDelay, len(completed), ops)
+		}
+		for i, rsn := range completed {
+			if rsn != uint64(i) {
+				t.Errorf("stall=%v retry=%v: target order %v violates RSN order after unstall",
+					tc.stallFor, tc.retryDelay, completed)
+				break
+			}
+		}
+		if e.a.Stats.RNRRetries == 0 {
+			t.Errorf("stall=%v retry=%v: no RNR retries recorded — stall window missed all traffic",
+				tc.stallFor, tc.retryDelay)
+		}
+		if e.a.Stats.CompletedOK != ops {
+			t.Errorf("stall=%v retry=%v: CompletedOK = %d, want %d",
+				tc.stallFor, tc.retryDelay, e.a.Stats.CompletedOK, ops)
+		}
+	}
+}

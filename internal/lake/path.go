@@ -49,6 +49,7 @@ var layerTokens = map[string]bool{
 	"fae":     true,
 	"routing": true,
 	"perf":    true,
+	"chaos":   true,
 }
 
 // statSuffixes are the names Registry.Snapshot expands each histogram
@@ -155,6 +156,13 @@ var timingMetrics = map[string]bool{
 func (p Path) Class() Class {
 	if p.Layer == "perf" {
 		return ClassPerf
+	}
+	// The chaos layer is exact by construction — every value, including
+	// recovery_gap_ns, is an integer derived from virtual-clock samples
+	// under the same-seed storm determinism contract — so the suffix
+	// rules below must not soften it to timing class.
+	if p.Layer == "chaos" {
+		return ClassExact
 	}
 	if strings.HasSuffix(p.Metric, "_ns") || strings.HasSuffix(p.Metric, "_ms") {
 		return ClassTiming

@@ -104,7 +104,12 @@ type PortStats struct {
 	// DownDrops counts frames dropped because the port was administratively
 	// down (SetDown), kept separate from RandomDrops so outage experiments
 	// do not inflate the random-loss line.
-	DownDrops     uint64
+	DownDrops uint64
+	// CorruptDrops counts frames dropped by an injected packet-corruption
+	// window (SetCorruptProb): the wire delivered bytes but the FCS check
+	// discarded them, so they are neither random fabric loss nor an
+	// administrative outage.
+	CorruptDrops  uint64
 	Reordered     uint64
 	ECNMarks      uint64
 	MaxQueueBytes int
@@ -125,10 +130,16 @@ type Port struct {
 
 	queuedBytes int
 	busyUntil   sim.Time
-	down        bool
+	// downDepth counts active SetDown(true) holds. The port drops frames
+	// while downDepth > 0, so overlapping failure schedules (two Flaps, a
+	// Flap inside a RackOutage, a storm campaign on top of either) nest:
+	// the port comes back up only when every holder has released it, and a
+	// second down can never double-count drops or re-arm a stale restore.
+	downDepth int
 
 	// Impairments, adjustable at runtime by experiments.
 	dropProb     float64
+	corruptProb  float64
 	reorderProb  float64
 	reorderDelay time.Duration
 
@@ -161,7 +172,7 @@ func newPort(n *Network, name string, cfg LinkConfig, dst device) *Port {
 	if limit == 0 {
 		limit = DefaultQueueBytes
 	}
-	return &Port{
+	p := &Port{
 		net:       n,
 		sim:       n.sim,
 		name:      name,
@@ -170,6 +181,8 @@ func newPort(n *Network, name string, cfg LinkConfig, dst device) *Port {
 		limit:     limit,
 		dst:       dst,
 	}
+	n.ports = append(n.ports, p)
+	return p
 }
 
 // SetDropProb configures random egress drop with probability p, modeling the
@@ -186,7 +199,33 @@ func (p *Port) SetReorder(prob float64, extraDelay time.Duration) {
 // SetDown marks the port failed; all frames are dropped (network outage for
 // PRR experiments). Drops while down are counted in Stats.DownDrops, not
 // Stats.RandomDrops.
-func (p *Port) SetDown(down bool) { p.down = down }
+//
+// Down states nest: each SetDown(true) takes one hold on the port and each
+// SetDown(false) releases one, so independent failure schedules targeting
+// the same port (overlapping Flaps, a storm on top of an outage) compose —
+// the port transmits again only after the last holder restores it. A
+// release with no outstanding hold is ignored rather than underflowing.
+func (p *Port) SetDown(down bool) {
+	if down {
+		p.downDepth++
+		return
+	}
+	if p.downDepth > 0 {
+		p.downDepth--
+	}
+}
+
+// Down reports whether the port is administratively down (at least one
+// SetDown(true) hold is outstanding).
+func (p *Port) Down() bool { return p.downDepth > 0 }
+
+// SetCorruptProb configures a packet-corruption window: with probability
+// prob a frame that would have been transmitted is dropped after occupying
+// the wire's attention, counted in Stats.CorruptDrops (the FCS-failure
+// model chaos campaigns use — distinct from RandomDrops so corruption
+// windows never inflate the random-loss line). prob 0 turns the window off
+// and, like SetDropProb, costs no RNG draw on the hot path.
+func (p *Port) SetCorruptProb(prob float64) { p.corruptProb = prob }
 
 // SetECNThreshold enables ECN marking: frames that arrive to a queue
 // deeper than bytes are marked congestion-experienced.
@@ -228,13 +267,18 @@ func (p *Port) QueuedBytes() int { return p.queuedBytes }
 // departure-time drain tick and the propagation-delayed delivery) — no
 // closures, no allocation, no floating point.
 func (p *Port) send(f *Frame) {
-	if p.down {
+	if p.downDepth > 0 {
 		p.Stats.DownDrops++
 		p.net.frames.Release(f)
 		return
 	}
 	if p.dropProb > 0 && p.sim.Rand().Float64() < p.dropProb {
 		p.Stats.RandomDrops++
+		p.net.frames.Release(f)
+		return
+	}
+	if p.corruptProb > 0 && p.sim.Rand().Float64() < p.corruptProb {
+		p.Stats.CorruptDrops++
 		p.net.frames.Release(f)
 		return
 	}
@@ -285,10 +329,49 @@ type Host struct {
 	net     *Network
 	handler Handler
 	uplink  *Port
-	tap     func(f *Frame)
+	tap func(f *Frame)
+	// pauseDepth counts active SetPaused(true) holds, nesting like
+	// Port.downDepth so overlapping endpoint faults (a pause inside a
+	// crash window) compose without an early release.
+	pauseDepth int
 	// RxFrames counts delivered frames.
 	RxFrames uint64
+	// SentFrames counts frames this host injected into the fabric (frames
+	// refused by a pause are not counted). Together with the per-port drop
+	// counters and PauseRxDrops it closes the frame-conservation ledger:
+	// after a drained run, sum(SentFrames) = sum(RxFrames) + every drop.
+	SentFrames uint64
+	// PauseTxDrops / PauseRxDrops count frames refused because the host
+	// was paused (endpoint fault injection): transmissions that never
+	// reached the uplink, and arrivals discarded before the handler.
+	PauseTxDrops uint64
+	PauseRxDrops uint64
 }
+
+// SetPaused freezes or thaws the host, modeling an endpoint-level fault
+// (host stall, crash window, dead NIC): while paused the host neither
+// transmits (Send drops, counted in PauseTxDrops) nor receives (arrivals
+// are discarded before tap and handler, counted in PauseRxDrops). The
+// fabric is untouched — in-flight frames still arrive and are eaten at
+// the edge, exactly like a machine whose OS stopped scheduling the NIC
+// driver. Transport state above the host is preserved, so recovery after
+// unpause exercises the retransmission machinery end to end.
+//
+// Pauses nest like Port.SetDown: each SetPaused(true) takes a hold, each
+// SetPaused(false) releases one (ignored at zero), and the host runs
+// again only when every holder has released it.
+func (h *Host) SetPaused(paused bool) {
+	if paused {
+		h.pauseDepth++
+		return
+	}
+	if h.pauseDepth > 0 {
+		h.pauseDepth--
+	}
+}
+
+// Paused reports whether the host is currently frozen.
+func (h *Host) Paused() bool { return h.pauseDepth > 0 }
 
 // SetHandler installs the frame receiver. Must be called before traffic
 // arrives.
@@ -315,16 +398,27 @@ func (h *Host) NewFrame() *Frame { return h.net.frames.Acquire() }
 // Ownership of a pooled frame passes to the fabric: the caller must not
 // touch f after Send returns.
 func (h *Host) Send(f *Frame) {
+	if h.pauseDepth > 0 {
+		h.PauseTxDrops++
+		h.net.frames.Release(f)
+		return
+	}
 	f.Src = h.ID
 	f.SentAt = h.net.sim.Now()
 	f.Hops = 0
 	if h.uplink == nil {
 		panic(fmt.Sprintf("netsim: host %d has no uplink", h.ID))
 	}
+	h.SentFrames++
 	h.uplink.send(f)
 }
 
 func (h *Host) receive(f *Frame) {
+	if h.pauseDepth > 0 {
+		h.PauseRxDrops++
+		h.net.frames.Release(f)
+		return
+	}
 	h.RxFrames++
 	if h.tap != nil {
 		h.tap(f)
@@ -456,7 +550,10 @@ type Network struct {
 	sim      *sim.Simulator
 	hosts    []*Host
 	switches []*Switch
-	policy   routing.Policy
+	// ports records every directed port in creation order, so audits (the
+	// chaos frame-conservation ledger) can fold over the whole fabric.
+	ports  []*Port
+	policy routing.Policy
 
 	frames FramePool
 	evFree []*portEvent
@@ -515,6 +612,14 @@ func (n *Network) Host(id NodeID) *Host { return n.hosts[int(id)] }
 
 // Hosts returns all hosts.
 func (n *Network) Hosts() []*Host { return n.hosts }
+
+// Switches returns all switches in creation order.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// Ports returns every directed port of the network in creation order —
+// the iteration surface for whole-fabric audits like the chaos ledger
+// (sum of drops across every hop) and for sweeping impairments.
+func (n *Network) Ports() []*Port { return n.ports }
 
 // AddSwitch creates a switch running the network's routing policy.
 func (n *Network) AddSwitch() *Switch {

@@ -294,3 +294,104 @@ func TestECNMarkingBeyondThreshold(t *testing.T) {
 		t.Fatalf("ECNMarks stat %d != %d delivered marks", up.Stats.ECNMarks, marked)
 	}
 }
+
+// TestSetDownDepthNesting pins the hold-count semantics of SetDown: two
+// overlapping failure schedules each take a hold, and the port only comes
+// back when both release. A stray extra release on an up port must not
+// drive the depth negative (which would make the next SetDown(true) a
+// no-op and silently un-fail a failed port).
+func TestSetDownDepthNesting(t *testing.T) {
+	s := sim.New(1)
+	_, fwd := PointToPoint(s, testLink)
+	fwd.SetDown(true) // schedule A
+	fwd.SetDown(true) // schedule B overlaps
+	fwd.SetDown(false)
+	if !fwd.Down() {
+		t.Fatal("port released after one of two holds")
+	}
+	fwd.SetDown(false)
+	if fwd.Down() {
+		t.Fatal("port still down after both holds released")
+	}
+	fwd.SetDown(false) // stray release: must clamp at zero
+	fwd.SetDown(true)
+	if !fwd.Down() {
+		t.Fatal("hold after a stray release had no effect: depth went negative")
+	}
+	fwd.SetDown(false)
+	if fwd.Down() {
+		t.Fatal("port stuck down after balanced holds")
+	}
+}
+
+// TestPauseDepthNesting mirrors TestSetDownDepthNesting for host pauses
+// and checks both drop counters: a paused host neither sends (PauseTxDrops)
+// nor receives (PauseRxDrops), and traffic resumes cleanly once every
+// overlapping hold releases.
+func TestPauseDepthNesting(t *testing.T) {
+	s := sim.New(1)
+	topo, _ := PointToPoint(s, testLink)
+	src, dst := topo.Hosts[0], topo.Hosts[1]
+	dst.SetHandler(HandlerFunc(func(*Frame) {}))
+
+	dst.SetPaused(true) // crash window...
+	dst.SetPaused(true) // ...with a pause inside it
+	src.Send(&Frame{Dst: 1, Size: 64})
+	s.Run()
+	if dst.RxFrames != 0 || dst.PauseRxDrops != 1 {
+		t.Fatalf("paused host: rx=%d pause_rx_drops=%d, want 0/1", dst.RxFrames, dst.PauseRxDrops)
+	}
+	dst.SetPaused(false)
+	if !dst.Paused() {
+		t.Fatal("host resumed after one of two holds")
+	}
+	src.Send(&Frame{Dst: 1, Size: 64})
+	s.Run()
+	if dst.PauseRxDrops != 2 {
+		t.Fatalf("inner hold alone did not drop: pause_rx_drops=%d", dst.PauseRxDrops)
+	}
+	dst.SetPaused(false)
+	src.Send(&Frame{Dst: 1, Size: 64})
+	s.Run()
+	if dst.RxFrames != 1 {
+		t.Fatalf("host did not resume receiving: rx=%d", dst.RxFrames)
+	}
+
+	src.SetPaused(true)
+	src.Send(&Frame{Dst: 1, Size: 64})
+	if src.PauseTxDrops != 1 || src.SentFrames != 3 {
+		t.Fatalf("paused sender: tx_drops=%d sent=%d, want 1/3 (paused sends not counted as sent)",
+			src.PauseTxDrops, src.SentFrames)
+	}
+	src.SetPaused(false)
+}
+
+// TestCorruptWindow pins the packet-corruption injection: inside the
+// window every frame is lost and attributed to CorruptDrops (not
+// RandomDrops), and clearing the probability restores lossless delivery.
+func TestCorruptWindow(t *testing.T) {
+	s := sim.New(11)
+	topo, fwd := PointToPoint(s, testLink)
+	topo.Hosts[1].SetHandler(HandlerFunc(func(*Frame) {}))
+	fwd.SetCorruptProb(1)
+	for i := 0; i < 5; i++ {
+		topo.Hosts[0].Send(&Frame{Dst: 1, Size: 64})
+	}
+	s.Run()
+	if topo.Hosts[1].RxFrames != 0 || fwd.Stats.CorruptDrops != 5 {
+		t.Fatalf("full-corruption window: rx=%d corrupt_drops=%d, want 0/5",
+			topo.Hosts[1].RxFrames, fwd.Stats.CorruptDrops)
+	}
+	if fwd.Stats.RandomDrops != 0 {
+		t.Fatalf("corruption leaked into RandomDrops: %d", fwd.Stats.RandomDrops)
+	}
+	fwd.SetCorruptProb(0)
+	for i := 0; i < 5; i++ {
+		topo.Hosts[0].Send(&Frame{Dst: 1, Size: 64})
+	}
+	s.Run()
+	if topo.Hosts[1].RxFrames != 5 || fwd.Stats.CorruptDrops != 5 {
+		t.Fatalf("after window cleared: rx=%d corrupt_drops=%d, want 5/5",
+			topo.Hosts[1].RxFrames, fwd.Stats.CorruptDrops)
+	}
+}

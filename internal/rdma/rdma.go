@@ -118,6 +118,12 @@ func NewQP(ep *core.Endpoint, cfg Config) *QP {
 // Endpoint returns the underlying Falcon endpoint (stats access).
 func (qp *QP) Endpoint() *core.Endpoint { return qp.ep }
 
+// Target returns the QP's TL target handler — the same value NewQP
+// installed on the endpoint. Fault-injection harnesses use it to
+// interpose a wrapper (e.g. a receiver-not-ready stall that answers RNR
+// while stalled and delegates here otherwise) via Endpoint.SetTarget.
+func (qp *QP) Target() tl.TargetHandler { return (*target)(qp) }
+
 // RegisterMemory registers buf as the QP's remotely accessible region.
 func (qp *QP) RegisterMemory(buf []byte) {
 	qp.mem = buf
@@ -199,6 +205,16 @@ func (qp *QP) segments(n int) []int {
 // retryDelay paces re-issuance of segments refused by TL backpressure.
 const retryDelay = 20 * time.Microsecond
 
+// failSegments completes n never-issued segments of an op in error. The
+// issue loops call it when the connection died mid-op (crash teardown,
+// RTO-budget exhaustion): retrying would spin forever — the conn can
+// never accept the segment — so the op must surface the failure instead.
+func failSegments(n int, err error, segDone func([]byte, error)) {
+	for j := 0; j < n; j++ {
+		segDone(nil, err)
+	}
+}
+
 // Write posts an RDMA WRITE of data (or size bytes when data is nil) to
 // remote address addr: one Push per MTU segment, one completion for the
 // op. Segments refused by transaction-layer backpressure are re-issued as
@@ -230,6 +246,10 @@ func (qp *QP) Write(wrid uint64, addr uint64, data []byte, size int, done func(C
 				chunk = data[off : off+seg]
 			}
 			if _, err := qp.ep.TL().PushOp(opWrite, addr+uint64(off), chunk, uint32(seg), segDone); err != nil {
+				if qp.ep.TL().Dead() != nil {
+					failSegments(len(segs)-i, err, segDone)
+					return
+				}
 				ri, ro := i, off
 				qp.ep.Sim().After(retryDelay, func() { issue(ri, ro) })
 				return
@@ -270,6 +290,10 @@ func (qp *QP) Send(wrid uint64, data []byte, size int, done func(Completion)) er
 				chunk = data[off : off+seg]
 			}
 			if _, err := qp.ep.TL().PushOp(opSend, sendMeta(size, off), chunk, uint32(seg), segDone); err != nil {
+				if qp.ep.TL().Dead() != nil {
+					failSegments(len(segs)-i, err, segDone)
+					return
+				}
 				ri, ro := i, off
 				qp.ep.Sim().After(retryDelay, func() { issue(ri, ro) })
 				return
@@ -334,6 +358,12 @@ func (qp *QP) Read(wrid uint64, addr uint64, size int, done func(Completion)) er
 		for ; i < len(segs); i++ {
 			seg := segs[i]
 			if _, err := qp.ep.TL().PullOp(opRead, addr+uint64(off), uint32(seg), segDone(i)); err != nil {
+				if qp.ep.TL().Dead() != nil {
+					for j := i; j < len(segs); j++ {
+						segDone(j)(nil, err)
+					}
+					return
+				}
 				ri, ro := i, off
 				qp.ep.Sim().After(retryDelay, func() { issue(ri, ro) })
 				return

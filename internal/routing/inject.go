@@ -32,17 +32,39 @@ type FailPort interface {
 // Injector schedules gray failures on fabric ports of one simulator.
 // All methods may be called before or during a run; schedules in the
 // past panic (the simulator refuses to rewrite history).
+//
+// Stop ends the campaign early (typically because the simulation's
+// measurement window closed before every schedule played out): pending
+// impairments are discarded instead of firing into a dead simulation,
+// pending restores still apply so no port is stranded down or
+// degraded, and every later schedule call becomes a no-op — it can no
+// longer panic on a start time the simulator has already passed.
 type Injector struct {
-	s *sim.Simulator
+	s       *sim.Simulator
+	stopped bool
 }
 
 // NewInjector returns an injector scheduling on s.
 func NewInjector(s *sim.Simulator) *Injector { return &Injector{s: s} }
 
+// Stop retires the injector. Schedules already in the event queue are
+// not unscheduled (the wheel has no random-access delete on the typed
+// fast path); instead every injector event checks the stopped flag when
+// it fires: impairment phases (a flap's down phase, an outage's down
+// edge, a Slow degrade) become no-ops and re-arming chains end, while
+// restore phases (flap up, outage clear, Slow recovery) still run so a
+// port impaired before Stop is always handed back healthy. The events
+// then fall out of the queue normally — nothing pooled leaks, nothing
+// fires into a torn-down topology, and nothing panics.
+func (in *Injector) Stop() { in.stopped = true }
+
+// Stopped reports whether Stop has retired this injector.
+func (in *Injector) Stopped() bool { return in.stopped }
+
 // flapEvent is the typed action behind Flap: each firing toggles the
 // port and re-arms itself until the configured down/up cycles are spent.
 type flapEvent struct {
-	s       *sim.Simulator
+	in      *Injector
 	p       FailPort
 	downFor time.Duration
 	upFor   time.Duration
@@ -52,17 +74,23 @@ type flapEvent struct {
 
 // RunAction implements sim.Action.
 func (e *flapEvent) RunAction() {
+	s := e.in.s
 	if !e.down {
+		if e.in.stopped {
+			return // discarded: never start a new down phase after Stop
+		}
 		e.p.SetDown(true)
 		e.down = true
-		e.s.AtAction(e.s.Now().Add(e.downFor), e)
+		s.AtAction(s.Now().Add(e.downFor), e)
 		return
 	}
+	// The up edge always applies, Stop or not: a port downed before the
+	// injector was retired must come back.
 	e.p.SetDown(false)
 	e.down = false
 	e.cycles--
-	if e.cycles > 0 {
-		e.s.AtAction(e.s.Now().Add(e.upFor), e)
+	if e.cycles > 0 && !e.in.stopped {
+		s.AtAction(s.Now().Add(e.upFor), e)
 	}
 }
 
@@ -70,44 +98,73 @@ func (e *flapEvent) RunAction() {
 // goes down for downFor, comes back up for upFor, and repeats. The port
 // is guaranteed up again after the last cycle. cycles <= 0 is a no-op.
 func (in *Injector) Flap(p FailPort, start sim.Time, downFor, upFor time.Duration, cycles int) {
-	if cycles <= 0 {
+	if cycles <= 0 || in.stopped {
 		return
 	}
-	in.s.AtAction(start, &flapEvent{s: in.s, p: p, downFor: downFor, upFor: upFor, cycles: cycles})
+	in.s.AtAction(start, &flapEvent{in: in, p: p, downFor: downFor, upFor: upFor, cycles: cycles})
 }
 
 // rateEvent is the typed action behind Slow: one firing applies one
-// rate.
+// rate. restore marks the recovery edge, which applies even after Stop.
 type rateEvent struct {
-	p    FailPort
-	gbps float64
+	in      *Injector
+	p       FailPort
+	gbps    float64
+	restore bool
 }
 
 // RunAction implements sim.Action.
-func (e *rateEvent) RunAction() { e.p.SetRateGbps(e.gbps) }
+func (e *rateEvent) RunAction() {
+	if e.in.stopped && !e.restore {
+		return
+	}
+	e.p.SetRateGbps(e.gbps)
+}
 
 // Slow degrades p to slowGbps at time at without downing it — the
 // classic gray failure: the link stays "healthy" (no down_drops) while
 // serialization stretches and its queue backs up. If recoverAfter > 0
 // the port is restored to restoreGbps that long after the degrade.
 func (in *Injector) Slow(p FailPort, at sim.Time, slowGbps float64, recoverAfter time.Duration, restoreGbps float64) {
-	in.s.AtAction(at, &rateEvent{p: p, gbps: slowGbps})
+	if in.stopped {
+		return
+	}
+	in.s.AtAction(at, &rateEvent{in: in, p: p, gbps: slowGbps})
 	if recoverAfter > 0 {
-		in.s.AtAction(at.Add(recoverAfter), &rateEvent{p: p, gbps: restoreGbps})
+		in.s.AtAction(at.Add(recoverAfter), &rateEvent{in: in, p: p, gbps: restoreGbps, restore: true})
 	}
 }
 
 // outageEvent is the typed action behind RackOutage: one firing moves
-// every port of the group to one administrative state.
+// every port of the group to one administrative state. The down edge
+// records which ports it actually downed so the restore edge releases
+// exactly those holds — a down edge discarded by Stop must not be
+// "restored", or the port's down depth would underflow another
+// schedule's hold.
 type outageEvent struct {
-	ports []FailPort
-	down  bool
+	in      *Injector
+	ports   []FailPort
+	down    bool
+	applied *bool // shared with the paired restore event
 }
 
 // RunAction implements sim.Action.
 func (e *outageEvent) RunAction() {
+	if e.down {
+		if e.in.stopped {
+			return // discarded; the paired restore sees applied=false
+		}
+		*e.applied = true
+		for _, p := range e.ports {
+			p.SetDown(true)
+		}
+		return
+	}
+	if !*e.applied {
+		return
+	}
 	for _, p := range e.ports {
-		p.SetDown(e.down)
+		p.SetDown(false)
 	}
 }
 
@@ -117,9 +174,10 @@ func (e *outageEvent) RunAction() {
 // models. Both transitions happen at a single instant each, so every
 // port in the group fails (and recovers) atomically in virtual time.
 func (in *Injector) RackOutage(ports []FailPort, at sim.Time, outageFor time.Duration) {
-	if len(ports) == 0 {
+	if len(ports) == 0 || in.stopped {
 		return
 	}
-	in.s.AtAction(at, &outageEvent{ports: ports, down: true})
-	in.s.AtAction(at.Add(outageFor), &outageEvent{ports: ports, down: false})
+	applied := new(bool)
+	in.s.AtAction(at, &outageEvent{in: in, ports: ports, down: true, applied: applied})
+	in.s.AtAction(at.Add(outageFor), &outageEvent{in: in, ports: ports, down: false, applied: applied})
 }

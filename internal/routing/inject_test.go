@@ -154,3 +154,87 @@ func TestSlowPortStaysUp(t *testing.T) {
 		t.Fatal("slow port queue never backed up — scenario too gentle to mean anything")
 	}
 }
+
+// TestOverlappingFlapsCompose pins the depth-nesting contract from the
+// injector's side: two Flaps on the same port with interleaved windows
+// must compose — the port is down whenever either schedule holds it, and
+// only the release of the LAST hold brings it back. Before depth counting
+// this scenario un-failed the port early (flap A's up edge released flap
+// B's hold).
+func TestOverlappingFlapsCompose(t *testing.T) {
+	s := sim.New(9)
+	_, fwd := netsim.PointToPoint(s, testLink)
+	inj := routing.NewInjector(s)
+	us := func(n int) sim.Time { return sim.Time(n) * sim.Time(time.Microsecond) }
+	// A: down [10,50)us. B: down [30,70)us. Overlap is [30,50)us.
+	inj.Flap(fwd, us(10), 40*time.Microsecond, time.Microsecond, 1)
+	inj.Flap(fwd, us(30), 40*time.Microsecond, time.Microsecond, 1)
+	probe := func(at sim.Time, want bool, label string) {
+		s.At(at, func() {
+			if fwd.Down() != want {
+				t.Errorf("at %v (%s): Down() = %v, want %v", at, label, fwd.Down(), want)
+			}
+		})
+	}
+	probe(us(5), false, "before either flap")
+	probe(us(20), true, "A only")
+	probe(us(40), true, "A and B overlap")
+	probe(us(55), true, "A released, B still holds")
+	probe(us(75), false, "both released")
+	s.Run()
+	if fwd.Down() {
+		t.Fatal("port left down after both flaps completed")
+	}
+}
+
+// TestInjectorStopDiscardsSchedules pins the Stop contract: schedule
+// calls after Stop are no-ops, a flap already in its down phase is still
+// restored (no port is left failed by a retired injector), no new down
+// phase begins after Stop, and a stopped outage's restore edge does not
+// release holds it never took (which would double-release an independent
+// failure schedule on the same port).
+func TestInjectorStopDiscardsSchedules(t *testing.T) {
+	s := sim.New(13)
+	_, fwd := netsim.PointToPoint(s, testLink)
+	inj := routing.NewInjector(s)
+	us := func(n int) sim.Time { return sim.Time(n) * sim.Time(time.Microsecond) }
+
+	// 3 cycles: down [10,30), up [30,40), down [40,60), up [60,70), ...
+	inj.Flap(fwd, us(10), 20*time.Microsecond, 10*time.Microsecond, 3)
+	// Outage whose down edge lands after Stop: must be discarded, and its
+	// restore must not release the independent hold taken at 45us.
+	inj.RackOutage([]routing.FailPort{fwd}, us(50), 10*time.Microsecond)
+	s.At(us(44), func() { inj.Stop() }) // during the second down phase
+	s.At(us(45), func() { fwd.SetDown(true) }) // independent hold, not the injector's
+	s.At(us(55), func() {
+		if !fwd.Down() {
+			t.Error("at 55us: independent hold released early")
+		}
+	})
+	s.At(us(65), func() {
+		// Flap's own restore (60us) ran; only the independent hold remains.
+		fwd.SetDown(false)
+		if fwd.Down() {
+			t.Error("at 65us: port still held after flap restore + independent release")
+		}
+	})
+	s.At(us(80), func() {
+		if fwd.Down() {
+			t.Error("at 80us: a discarded schedule re-failed the port")
+		}
+		// Schedules issued after Stop must be inert.
+		inj.Flap(fwd, us(90), 5*time.Microsecond, time.Microsecond, 2)
+		inj.Slow(fwd, us(90), 1, 0, 0)
+		inj.RackOutage([]routing.FailPort{fwd}, us(90), 5*time.Microsecond)
+	})
+	s.Run()
+	if !inj.Stopped() {
+		t.Fatal("Stopped() = false after Stop")
+	}
+	if fwd.Down() {
+		t.Fatal("post-Stop schedule failed the port")
+	}
+	if fwd.Stats.DownDrops != 0 {
+		t.Fatalf("no traffic crossed a down window, yet DownDrops = %d", fwd.Stats.DownDrops)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"falcon/internal/chaos"
 	"falcon/internal/core"
 	"falcon/internal/lake"
 	"falcon/internal/netsim"
@@ -45,6 +46,7 @@ func emittedMetricNames(t *testing.T) ([]string, []string) {
 	telemetry.CollectUplinks(reg, "doc/tor0", []*netsim.Port{fwd, topo.Hosts[0].Uplink()})
 	telemetry.CollectFAE(reg, "doc", a.Engine())
 	telemetry.ObserveFAE(reg, "doc", a.Engine())
+	telemetry.CollectChaos(reg, "doc", &chaos.Report{})
 
 	sp := suite.Sampler("doc", s, time.Millisecond)
 	telemetry.TrackPDL(sp, "conn", epA.PDL())

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"strconv"
 
+	"falcon/internal/chaos"
 	"falcon/internal/falcon/fae"
 	"falcon/internal/falcon/pdl"
 	"falcon/internal/falcon/tl"
@@ -218,4 +219,43 @@ func ObserveFAE(r *Registry, prefix string, e *fae.Engine) {
 			repaths.Inc()
 		}
 	})
+}
+
+// CollectChaos registers a snapshot collector for one storm run's report.
+// The pointer is registered before the run and filled after it drains
+// (RunInstrumented snapshots after RunTel returns), so the collector reads
+// the completed report lazily. Every chaos metric is an integer derived
+// from virtual-clock state — the lake classifies the whole layer exact, so
+// same-seed storms must reproduce these values byte-identically.
+func CollectChaos(r *Registry, prefix string, rep *chaos.Report) {
+	r.OnSnapshot(func(emit func(string, float64)) {
+		emit(prefix+"/chaos/events", float64(rep.Events))
+		emit(prefix+"/chaos/baseline_goodput_mbps", float64(rep.Envelope.BaselineMbps))
+		emit(prefix+"/chaos/storm_goodput_mbps", float64(rep.Envelope.StormMbps))
+		emit(prefix+"/chaos/tail_goodput_mbps", float64(rep.Envelope.TailMbps))
+		emit(prefix+"/chaos/recovered", boolMetric(rep.Envelope.Recovered))
+		emit(prefix+"/chaos/recovery_gap_ns", float64(rep.Envelope.RecoveryNs))
+		emit(prefix+"/chaos/retransmits", float64(rep.Retransmits))
+		emit(prefix+"/chaos/baseline_retransmits", float64(rep.BaselineRetransmits))
+		emit(prefix+"/chaos/rto_depth", float64(rep.RTODepth))
+		emit(prefix+"/chaos/conns_total", float64(rep.ConnsTotal))
+		emit(prefix+"/chaos/conns_survived", float64(rep.ConnsSurvived))
+		emit(prefix+"/chaos/conns_failed", float64(rep.ConnsFailed))
+		emit(prefix+"/chaos/completed_ops", float64(rep.Completed))
+		emit(prefix+"/chaos/frames_sent", float64(rep.Ledger.Sent))
+		emit(prefix+"/chaos/frames_delivered", float64(rep.Ledger.Delivered))
+		emit(prefix+"/chaos/frames_dropped", float64(rep.Ledger.Dropped()))
+		emit(prefix+"/chaos/down_drops", float64(rep.Ledger.DownDrops))
+		emit(prefix+"/chaos/corrupt_drops", float64(rep.Ledger.CorruptDrops))
+		emit(prefix+"/chaos/pause_rx_drops", float64(rep.Ledger.PauseRxDrops))
+		emit(prefix+"/chaos/ledger_balanced", boolMetric(rep.Ledger.Balanced()))
+	})
+}
+
+// boolMetric encodes a verdict as 0/1 for the exact-class chaos layer.
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }

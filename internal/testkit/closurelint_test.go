@@ -10,7 +10,8 @@ import (
 )
 
 // TestNetsimClosureFree walks the fabric fast-path packages —
-// internal/netsim and internal/routing — and fails if any non-test file
+// internal/netsim, internal/routing and internal/chaos — and fails if any
+// non-test file
 // schedules a capture closure on the simulator: a call like
 // sim.At(t, func(){...}) or sim.After(d, func(){...}) with a function
 // literal argument. The fabric fast path must stay allocation-free by
@@ -21,7 +22,7 @@ import (
 // the simulator directly.
 func TestNetsimClosureFree(t *testing.T) {
 	var violations []string
-	for _, pkgDir := range []string{"netsim", "routing"} {
+	for _, pkgDir := range []string{"netsim", "routing", "chaos"} {
 		dir := filepath.Join(moduleRoot(t), "internal", pkgDir)
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, nil, parser.SkipObjectResolution)
