@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test short race sweep fuzz vet bench metrics perfcheck lakecheck chaoscheck ci
+.PHONY: all build test short race sweep fuzz vet bench metrics perfcheck lakecheck chaoscheck shardcheck ci
 
-all: build vet test perfcheck lakecheck chaoscheck
+all: build vet test perfcheck lakecheck chaoscheck shardcheck
 
 build:
 	$(GO) build ./...
@@ -90,17 +90,20 @@ perfcheck:
 lakecheck:
 	$(GO) run ./cmd/falconlake ingest -out /tmp/falconlake_a.idx \
 		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json \
-		BENCH_pr8_metrics.json BENCH_pr9_metrics.json
+		BENCH_pr8_metrics.json BENCH_pr9_metrics.json \
+		BENCH_pr10_single.json BENCH_pr10.json
 	$(GO) run ./cmd/falconlake ingest -out /tmp/falconlake_b.idx \
 		BENCH_pr3_metrics.json BENCH_pr3_series BENCH_pr5.json BENCH_pr6.json \
-		BENCH_pr8_metrics.json BENCH_pr9_metrics.json
+		BENCH_pr8_metrics.json BENCH_pr9_metrics.json \
+		BENCH_pr10_single.json BENCH_pr10.json
 	cmp /tmp/falconlake_a.idx /tmp/falconlake_b.idx
 	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr3 pr3
 	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr8 pr8
 	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr9 pr9
+	$(GO) run ./cmd/falconlake diff -index /tmp/falconlake_a.idx pr10 pr10
 	$(GO) run ./cmd/falconlake list -index /tmp/falconlake_a.idx
 	rm -f /tmp/falconlake_a.idx /tmp/falconlake_b.idx
-	$(GO) test -run 'TestLake|TestDiff|TestQuerier|TestParsePath|TestPathClass' ./internal/lake/
+	$(GO) test -run 'TestLake|TestDiff|TestQuerier|TestParsePath|TestPathClass|TestTrend' ./internal/lake/
 	$(GO) test -run 'TestMetricsDocComplete' ./internal/telemetry/
 	$(GO) test -run 'TestPackageDocLint' ./internal/testkit/
 
@@ -123,6 +126,29 @@ chaoscheck:
 	$(GO) test -run 'TestStormLedgerHolds|TestEndpointFaultOutcomes|TestStormSeedOverride' \
 		./internal/experiments/
 	$(GO) test -race -run 'TestStormSweepShort|TestStormDeterminism' ./internal/experiments/
+
+# Sharded-simulation gate (see DESIGN.md §15, EXPERIMENTS.md PR 10). The
+# partitioned event loop must be invisible in every output: the unit and
+# equivalence suites check per-partition wheels against the single loop
+# (33-scenario fault-sweep trace hashes and experiment tables at 1/2/4
+# partitions), then the full quick falconbench table set is diffed
+# byte-for-byte between -shards 1, 2 and 4 (only the wall-clock " in <t>"
+# timing lines are stripped — every table cell must match). The -race pass
+# covers the experimental -shardpar mode: partitions on concurrent
+# goroutines with conservative lookahead must be self-deterministic and
+# race-clean.
+shardcheck:
+	$(GO) test -run 'TestShard|TestCross|TestLookahead' ./internal/sim/
+	$(GO) test -run 'TestSweepShard|TestShard' ./internal/testkit/
+	$(GO) test -run 'TestShardTableEquivalence' ./internal/experiments/
+	$(GO) run ./cmd/falconbench -quick | sed '/ in /d' > /tmp/falconshard_1.txt
+	$(GO) run ./cmd/falconbench -quick -shards 2 | sed '/ in /d' > /tmp/falconshard_2.txt
+	$(GO) run ./cmd/falconbench -quick -shards 4 | sed '/ in /d' > /tmp/falconshard_4.txt
+	cmp /tmp/falconshard_1.txt /tmp/falconshard_2.txt
+	cmp /tmp/falconshard_1.txt /tmp/falconshard_4.txt
+	rm -f /tmp/falconshard_1.txt /tmp/falconshard_2.txt /tmp/falconshard_4.txt
+	$(GO) test -race -run 'TestSweepShardParallelDeterminism' ./internal/testkit/
+	$(GO) test -race -run 'TestShardParallelFigScale' ./internal/experiments/
 
 # Regenerate every table at full measurement windows (several minutes).
 bench-full:

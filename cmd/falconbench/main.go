@@ -38,6 +38,14 @@
 //	falconbench -legacyhotpath         # A/B the legacy transport hot path
 //	                                   # (map tables, heap packets, per-PSN
 //	                                   # scans); tables must be identical
+//	falconbench -shards 4              # partition every simulator into 4
+//	                                   # per-partition event loops with a
+//	                                   # deterministic merge; tables must
+//	                                   # be identical to -shards 1
+//	                                   # (shardcheck relies on this)
+//	falconbench -shards 4 -shardpar    # experimental: execute partitions
+//	                                   # on concurrent goroutines under
+//	                                   # conservative lookahead windows
 //	falconbench -cpuprofile cpu.pprof  # pprof profiles of the run
 //	falconbench -memprofile mem.pprof
 //
@@ -71,6 +79,8 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write a deterministic per-figure metrics JSON to this file (forces a serial instrumented run)")
 	seriesDir := flag.String("series", "", "write per-figure time-series CSVs into this directory (forces a serial instrumented run)")
 	sched := flag.String("sched", "wheel", "event scheduler: wheel (default) or heap (reference)")
+	shards := flag.Int("shards", 1, "partition every simulator into N per-partition event loops (deterministic merge; tables must be identical to -shards 1)")
+	shardPar := flag.Bool("shardpar", false, "experimental: run partitions on concurrent goroutines under conservative lookahead windows (self-deterministic, but not byte-comparable to the merged mode)")
 	routingPolicy := flag.String("routing", "ecmp", "fabric uplink policy for every topology: ecmp (default), spray, or adaptive")
 	legacyHotPath := flag.Bool("legacyhotpath", false, "run the transport on the legacy hot path oracle (map tables, heap packets, per-PSN scans)")
 	storm := flag.Int64("storm", 0, "override the storm campaign seed for figStorm/figEndpointFault; with no -run, selects just the storm figures")
@@ -93,6 +103,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -sched %q: want wheel or heap\n", *sched)
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "bad -shards %d: want >= 1\n", *shards)
+		os.Exit(2)
+	}
+	sim.SetDefaultShards(*shards)
+	sim.SetDefaultShardParallel(*shardPar)
 	core.SetDefaultLegacyHotPath(*legacyHotPath)
 	pol := routing.ByName(*routingPolicy)
 	if pol == nil {
@@ -105,6 +121,16 @@ func main() {
 		if *run == "" {
 			*run = "figStorm|figEndpointFault"
 		}
+	}
+	if *shardPar {
+		// The windowed-parallel mode executes partitions on concurrent
+		// goroutines, so only figures built with partition-local
+		// accumulation may run under it; the merged mode (-shards without
+		// -shardpar) is safe — and byte-identical — for every figure.
+		if *run == "" {
+			*run = "figScale"
+		}
+		fmt.Fprintln(os.Stderr, "note: -shardpar is experimental; selection defaults to figScale (partition-local accumulation)")
 	}
 	var re *regexp.Regexp
 	if *run != "" {

@@ -40,6 +40,19 @@
 //	    around. -keep writes the regenerated artifact to a path for
 //	    inspection (or for promoting it to the new baseline).
 //
+//	falconlake trend -index lake.idx [-tol 0.05] [-perftol 0.10] \
+//	    [-json] run1 run2 run3...
+//	    Scan three or more runs (oldest first) for metrics drifting
+//	    monotonically across the whole sequence. Pairwise diffing
+//	    forgives a slow creep — a perf metric regressing 8% per run
+//	    never trips the 25% band — so the trend scan flags monotonic
+//	    chains whose cumulative first-to-last drift exceeds the (much
+//	    tighter) trend tolerances: timing-class beyond -tol, perf-class
+//	    beyond -perftol in the metric's worse direction. Exact-class
+//	    cells are skipped (any change there is already a diff finding).
+//	    The arguments may also all be artifact paths, ingested in order
+//	    as r1, r2, ... Exits 1 when drifts exist.
+//
 //	falconlake diff -index lake.idx [-tol 0.05] [-perftol 0.25] \
 //	    [-json] runA runB
 //	    Compare runB against baseline runA. Exact-class metrics must
@@ -79,6 +92,8 @@ func main() {
 		cmdQuery(os.Args[2:])
 	case "diff":
 		cmdDiff(os.Args[2:])
+	case "trend":
+		cmdTrend(os.Args[2:])
 	case "watch":
 		cmdWatch(os.Args[2:])
 	case "-h", "-help", "--help", "help":
@@ -99,6 +114,8 @@ func usage() {
   falconlake query  -index lake.idx -run NAME -serie NAME -col COL [-from NS] [-to NS] [-summary]
   falconlake diff   -index lake.idx [-tol F] [-perftol F] [-json] RUN_A RUN_B
   falconlake diff   [-tol F] [-perftol F] [-json] ARTIFACT_A ARTIFACT_B
+  falconlake trend  -index lake.idx [-tol F] [-perftol F] [-json] RUN1 RUN2 RUN3...
+  falconlake trend  [-tol F] [-perftol F] [-json] ARTIFACT1 ARTIFACT2 ARTIFACT3...
   falconlake watch  [-tol F] [-perftol F] [-json] [-keep PATH] BASELINE.json
 
 See 'go doc falcon/cmd/falconlake' and METRICS.md for details.
@@ -307,6 +324,69 @@ func cmdDiff(args []string) {
 	}
 
 	rep, err := lake.Diff(ix, runA, runB, lake.Options{RelTol: *tol, PerfTol: *perftol})
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		err = rep.WriteJSON(os.Stdout)
+	} else {
+		err = rep.WriteText(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if !rep.Empty() {
+		os.Exit(1)
+	}
+}
+
+func cmdTrend(args []string) {
+	fs := flag.NewFlagSet("trend", flag.ExitOnError)
+	index := fs.String("index", "", "lake index file (omit when scanning artifact paths)")
+	tol := fs.Float64("tol", 0, "cumulative drift tolerance for timing-class metrics (default 0.05)")
+	perftol := fs.Float64("perftol", 0, "cumulative regression tolerance for perf-class metrics (default 0.10)")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	fs.Parse(args)
+	if fs.NArg() < 3 {
+		fmt.Fprintln(os.Stderr, "falconlake trend: need at least three runs, oldest first (or three artifact paths)")
+		os.Exit(2)
+	}
+	runs := fs.Args()
+
+	allPaths := true
+	for _, a := range runs {
+		if !isPath(a) {
+			allPaths = false
+			break
+		}
+	}
+	var ix *lake.Index
+	var err error
+	if allPaths {
+		// Ad-hoc mode: ingest the artifacts in order as runs r1, r2, ...
+		bld := lake.NewBuilder()
+		names := make([]string, len(runs))
+		for i, p := range runs {
+			names[i] = fmt.Sprintf("r%d", i+1)
+			if err := bld.IngestFile(names[i], p); err != nil {
+				fatal(err)
+			}
+		}
+		if ix, err = bld.Seal(); err != nil {
+			fatal(err)
+		}
+		runs = names
+	} else {
+		if *index == "" {
+			fmt.Fprintln(os.Stderr, "falconlake trend: need -index (or artifact paths only)")
+			os.Exit(2)
+		}
+		if ix, err = lake.ReadFile(*index); err != nil {
+			fatal(err)
+		}
+	}
+
+	rep, err := lake.Trend(ix, runs, lake.TrendOptions{RelTol: *tol, PerfTol: *perftol})
 	if err != nil {
 		fatal(err)
 	}

@@ -18,7 +18,8 @@ import (
 // rather than exactly zero because the wheel occasionally regrows a
 // bucket when timer deadlines cross epoch boundaries; a regression that
 // reintroduces even one per-packet or per-transaction allocation
-// overshoots it by 20x. `make perfcheck` runs this.
+// overshoots it by 50x (measured steady state is ~0.016 allocs/op).
+// `make perfcheck` runs this.
 func TestTransportSteadyStateAllocs(t *testing.T) {
 	s := sim.New(1)
 	topo, _ := netsim.PointToPoint(s, netsim.LinkConfig{GbpsRate: 100, PropDelay: sim.Microsecond})
@@ -78,7 +79,7 @@ func TestTransportSteadyStateAllocs(t *testing.T) {
 	perOp := float64(after.Mallocs-before.Mallocs) / measured
 	t.Logf("steady state: %.4f allocs/op, %.1f B/op over %d ops",
 		perOp, float64(after.TotalAlloc-before.TotalAlloc)/measured, measured)
-	if perOp > 0.05 {
-		t.Fatalf("transport hot path allocates: %.4f allocs/op, want <= 0.05", perOp)
+	if perOp > 0.02 {
+		t.Fatalf("transport hot path allocates: %.4f allocs/op, want <= 0.02", perOp)
 	}
 }

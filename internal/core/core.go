@@ -80,16 +80,12 @@ type Cluster struct {
 	sim        *sim.Simulator
 	nodes      map[netsim.NodeID]*Node
 	nextConnID uint32
-	// pool recycles every transport packet in the cluster: TL requests,
-	// PDL acks, and the in-flight fabric copies (one pool per cluster —
-	// the simulator world is single-threaded).
-	pool   *wire.PacketPool
-	legacy bool
+	legacy     bool
 }
 
 // NewCluster creates an empty cluster on the simulator.
 func NewCluster(s *sim.Simulator) *Cluster {
-	cl := &Cluster{sim: s, nodes: make(map[netsim.NodeID]*Node), nextConnID: 1, pool: wire.NewPacketPool()}
+	cl := &Cluster{sim: s, nodes: make(map[netsim.NodeID]*Node), nextConnID: 1}
 	cl.SetLegacyHotPath(defaultLegacyHotPath.Load())
 	return cl
 }
@@ -100,8 +96,8 @@ func NewCluster(s *sim.Simulator) *Cluster {
 // each endpoint's PDL/TL configuration.
 func (cl *Cluster) SetLegacyHotPath(v bool) {
 	cl.legacy = v
-	cl.pool.SetLegacy(v)
 	for _, n := range cl.nodes {
+		n.pool.SetLegacy(v)
 		n.res.SetLegacy(v)
 	}
 }
@@ -138,16 +134,25 @@ func (cl *Cluster) AddNode(host *netsim.Host, cfg NodeConfig) *Node {
 	if _, dup := cl.nodes[host.ID]; dup {
 		panic(fmt.Sprintf("core: host %d already has a Falcon node", host.ID))
 	}
+	// The node's entire stack — NIC pipeline, FAE, PDL/TL timers, packet
+	// pool — lives on the fabric host's partition simulator, so on a
+	// sharded run everything a node does executes on its own partition
+	// (with the shared group clock and sequence counter, this is the
+	// root simulator's exact behaviour in merged mode).
+	ns := host.Sim()
 	n := &Node{
 		cluster: cl,
 		host:    host,
-		nic:     nic.New(cl.sim, cfg.NIC),
+		sim:     ns,
+		nic:     nic.New(ns, cfg.NIC),
 		res:     tl.NewResources(cfg.Resources),
+		pool:    wire.NewPacketPool(),
 		conns:   make(map[uint32]*Endpoint),
 		pspKey:  cfg.PSPMasterKey,
 	}
+	n.pool.SetLegacy(cl.legacy)
 	n.res.SetLegacy(cl.legacy)
-	n.engine = fae.New(cl.sim, cfg.FAE, n.applyFAEResponse)
+	n.engine = fae.New(ns, cfg.FAE, n.applyFAEResponse)
 	host.SetHandler(n)
 	cl.nodes[host.ID] = n
 	return n
@@ -158,11 +163,19 @@ func (cl *Cluster) AddNode(host *netsim.Host, cfg NodeConfig) *Node {
 type Node struct {
 	cluster *Cluster
 	host    *netsim.Host
-	nic     *nic.NIC
-	res     *tl.Resources
-	engine  *fae.Engine
-	conns   map[uint32]*Endpoint
-	pspKey  []byte
+	// sim is the fabric host's partition simulator; every timer and
+	// continuation of this node's stack is scheduled here. pool recycles
+	// this node's transport packets (per node rather than per cluster so
+	// the experimental parallel shard mode never shares a free list
+	// across partitions; in-flight fabric copies migrate to the receiving
+	// node's pool, mirroring netsim's frame-pool rule).
+	sim    *sim.Simulator
+	pool   *wire.PacketPool
+	nic    *nic.NIC
+	res    *tl.Resources
+	engine *fae.Engine
+	conns  map[uint32]*Endpoint
+	pspKey []byte
 
 	// Free lists for the per-packet NIC pipeline jobs (TX egress and RX
 	// ingress), recycled as they fire.
@@ -225,7 +238,7 @@ func (j *rxJob) RunAction() {
 	j.next = n.rxJobs
 	n.rxJobs = j
 	ep.pdl.HandlePacket(p, hops)
-	n.cluster.pool.Release(p)
+	n.pool.Release(p)
 }
 
 // HandleFrame implements netsim.Handler: NIC ingress.
@@ -236,7 +249,7 @@ func (n *Node) HandleFrame(f *netsim.Frame) {
 		if !ok {
 			// Stale packet for a closed connection: drop, reclaiming
 			// the fabric copy.
-			n.cluster.pool.Release(payload)
+			n.pool.Release(payload)
 			return
 		}
 		if f.CE {
@@ -301,7 +314,7 @@ func (j *txJob) RunAction() {
 	frame.Size = cp.WireSize()
 	if ep.txSA != nil {
 		sealed, err := ep.txSA.Seal(cp.Marshal(nil), pspCryptOffset, 0)
-		n.cluster.pool.Release(cp)
+		n.pool.Release(cp)
 		if err != nil {
 			return
 		}
@@ -346,7 +359,7 @@ func (e *Endpoint) ID() uint32 { return e.id }
 func (e *Endpoint) Node() *Node { return e.node }
 
 // Sim returns the simulator driving this endpoint.
-func (e *Endpoint) Sim() *sim.Simulator { return e.node.cluster.sim }
+func (e *Endpoint) Sim() *sim.Simulator { return e.node.sim }
 
 // TL returns the endpoint's transaction layer, the ULP-facing API.
 func (e *Endpoint) TL() *tl.Conn { return e.tl }
@@ -410,7 +423,7 @@ func newEndpoint(n *Node, id uint32, peer netsim.NodeID, cfg ConnConfig) *Endpoi
 			// flight. The snapshot is itself a pooled packet, released
 			// when the NIC egress job has put it on the wire (PSP) or
 			// by the receiving node after delivery (cleartext).
-			cp := n.cluster.pool.Acquire()
+			cp := n.pool.Acquire()
 			cp.CopyFrom(p)
 			j := n.txJobs
 			if j == nil {
@@ -447,10 +460,10 @@ func newEndpoint(n *Node, id uint32, peer netsim.NodeID, cfg ConnConfig) *Endpoi
 		CompletedRSN: func() uint64 { return ep.tl.CompletedRSN() },
 	}
 
-	ep.pdl = pdl.NewConn(n.cluster.sim, id, cfg.PDL, cb)
-	ep.pdl.SetPacketPool(n.cluster.pool)
-	ep.tl = tl.NewConn(n.cluster.sim, id, cfg.TL, n.res, ep.pdl, nil)
-	ep.tl.SetPacketPool(n.cluster.pool)
+	ep.pdl = pdl.NewConn(n.sim, id, cfg.PDL, cb)
+	ep.pdl.SetPacketPool(n.pool)
+	ep.tl = tl.NewConn(n.sim, id, cfg.TL, n.res, ep.pdl, nil)
+	ep.tl.SetPacketPool(n.pool)
 	labels := n.engine.RegisterConn(id, cfg.PDL.NumFlows)
 	ep.pdl.SetFlowLabels(labels)
 	return ep

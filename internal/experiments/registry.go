@@ -109,6 +109,11 @@ var registry = []Entry{
 	{Name: "fig21", Desc: "connection-count RTT cliff", Run: func(q bool) *Table {
 		return Fig21()
 	}},
+	{Name: "figScale", Desc: "fabric scaling: events/sec vs host count on a k=16-class Clos (single loop vs -shards)", Run: func(q bool) *Table {
+		return FigScale(windows(400*time.Microsecond, 150*time.Microsecond)(q), q)
+	}, RunTel: func(q bool, tel *telemetry.Suite) *Table {
+		return FigScaleTel(windows(400*time.Microsecond, 150*time.Microsecond)(q), q, tel)
+	}},
 	{Name: "fig22a", Desc: "FAE event rate vs connections", Run: func(q bool) *Table {
 		return Fig22a()
 	}},

@@ -49,16 +49,18 @@ type FigureReport struct {
 // BenchReport is the machine-readable summary of one falconbench run, the
 // payload of BENCH_*.json.
 type BenchReport struct {
-	Schema       string         `json:"schema"`
-	GoVersion    string         `json:"go"`
-	NumCPU       int            `json:"cpus"`
-	Scheduler    string         `json:"scheduler"`
-	Quick        bool           `json:"quick"`
-	Parallel     int            `json:"parallel"`
-	WallMS       float64        `json:"total_wall_ms"`
-	Events       uint64         `json:"total_events"`
-	EventsPerSec float64        `json:"total_events_per_sec"`
-	Figures      []FigureReport `json:"figures"`
+	Schema        string         `json:"schema"`
+	GoVersion     string         `json:"go"`
+	NumCPU        int            `json:"cpus"`
+	Scheduler     string         `json:"scheduler"`
+	Quick         bool           `json:"quick"`
+	Parallel      int            `json:"parallel"`
+	Shards        int            `json:"shards,omitempty"`
+	ShardParallel bool           `json:"shard_parallel,omitempty"`
+	WallMS        float64        `json:"total_wall_ms"`
+	Events        uint64         `json:"total_events"`
+	EventsPerSec  float64        `json:"total_events_per_sec"`
+	Figures       []FigureReport `json:"figures"`
 }
 
 // Run executes the entries and prints their tables to w in entry order,
@@ -75,6 +77,10 @@ func Run(entries []Entry, quick bool, parallel int, w io.Writer) BenchReport {
 		Quick:     quick,
 		Parallel:  parallel,
 		Figures:   make([]FigureReport, len(entries)),
+	}
+	if n := sim.DefaultShards(); n > 1 {
+		rep.Shards = n
+		rep.ShardParallel = sim.DefaultShardParallel()
 	}
 	start := time.Now()
 	events0 := sim.TotalDelivered()

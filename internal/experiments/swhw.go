@@ -12,6 +12,62 @@ import (
 	"falcon/internal/workload"
 )
 
+// opLat records per-op completion latency through a free list of pooled
+// records, each carrying its start time and a pre-bound completion
+// callback: issuing an op costs no allocation in steady state, where a
+// capture closure per op (the natural way to time completions) was one of
+// the largest allocation sources in the op-rate figures.
+type opLat struct {
+	s    *sim.Simulator
+	lat  *stats.Series
+	done *uint64
+	free *opLatRec
+}
+
+type opLatRec struct {
+	p      *opLat
+	start  sim.Time
+	next   *opLatRec
+	onRDMA func(rdma.Completion)
+	onSW   func()
+}
+
+// get stamps a pooled record with the current time; pass its onRDMA or
+// onSW field as the op's completion callback.
+func (p *opLat) get() *opLatRec {
+	r := p.free
+	if r == nil {
+		r = &opLatRec{p: p}
+		r.onRDMA = r.rdmaDone
+		r.onSW = r.swDone
+	} else {
+		p.free = r.next
+	}
+	r.start = p.s.Now()
+	return r
+}
+
+func (r *opLatRec) release() {
+	r.next = r.p.free
+	r.p.free = r
+}
+
+func (r *opLatRec) rdmaDone(c rdma.Completion) {
+	if c.Err == nil {
+		p := r.p
+		*p.done++
+		p.lat.AddDuration(p.s.Now().Sub(r.start))
+	}
+	r.release()
+}
+
+func (r *opLatRec) swDone() {
+	p := r.p
+	*p.done++
+	p.lat.AddDuration(p.s.Now().Sub(r.start))
+	r.release()
+}
+
 // Fig1 reproduces "comparing the limits of SW-based stacks": op rate
 // versus p99 latency for the Falcon hardware transport and a
 // Pony-Express-class software transport, sweeping offered op rate. The
@@ -35,6 +91,7 @@ func Fig1(runFor time.Duration) *Table {
 			b := cl.AddNode(topo.Hosts[1], core.DefaultNodeConfig())
 			var lat stats.Series
 			var done uint64
+			tr := &opLat{s: s, lat: &lat, done: &done}
 			const qps = 16
 			for q := 0; q < qps; q++ {
 				cfg := multipathConn()
@@ -43,13 +100,7 @@ func Fig1(runFor time.Duration) *Table {
 				qa := rdma.NewQP(epA, rdma.Config{})
 				rdma.NewQP(epB, rdma.Config{}).RegisterMemoryLen(1 << 40)
 				gen := workload.NewPoisson(s, s.Rand(), mops*1e6/qps, 1<<30, func() {
-					start := s.Now()
-					qa.Write(0, 0, nil, opBytes, func(c rdma.Completion) {
-						if c.Err == nil {
-							done++
-							lat.AddDuration(s.Now().Sub(start))
-						}
-					})
+					qa.Write(0, 0, nil, opBytes, tr.get().onRDMA)
 				})
 				gen.Start()
 			}
@@ -64,15 +115,12 @@ func Fig1(runFor time.Duration) *Table {
 			b := swtransport.NewNode(s, topo.Hosts[1], swtransport.PonyExpress())
 			var lat stats.Series
 			var done uint64
+			tr := &opLat{s: s, lat: &lat, done: &done}
 			const conns = 16
 			for c := 0; c < conns; c++ {
 				conn := swtransport.Connect(a, b, uint32(c+1))
 				gen := workload.NewPoisson(s, s.Rand(), mops*1e6/conns, 1<<30, func() {
-					start := s.Now()
-					conn.Send(opBytes, func() {
-						done++
-						lat.AddDuration(s.Now().Sub(start))
-					})
+					conn.Send(opBytes, tr.get().onSW)
 				})
 				gen.Start()
 			}

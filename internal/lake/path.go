@@ -50,6 +50,7 @@ var layerTokens = map[string]bool{
 	"routing": true,
 	"perf":    true,
 	"chaos":   true,
+	"shard":   true,
 }
 
 // statSuffixes are the names Registry.Snapshot expands each histogram
@@ -162,6 +163,13 @@ func (p Path) Class() Class {
 	// under the same-seed storm determinism contract — so the suffix
 	// rules below must not soften it to timing class.
 	if p.Layer == "chaos" {
+		return ClassExact
+	}
+	// The shard layer is likewise exact: partition delivery and
+	// cross-boundary counts are determined by the event stream, and
+	// lookahead_ns is a topology constant, not a measured duration — the
+	// _ns suffix rule must not soften it.
+	if p.Layer == "shard" {
 		return ClassExact
 	}
 	if strings.HasSuffix(p.Metric, "_ns") || strings.HasSuffix(p.Metric, "_ms") {

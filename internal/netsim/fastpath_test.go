@@ -17,8 +17,10 @@ type benchSink struct {
 
 func (bs *benchSink) receive(f *Frame) {
 	bs.got++
-	bs.net.frames.Release(f)
+	bs.net.Frames().Release(f)
 }
+
+func (bs *benchSink) nodeSim() *sim.Simulator { return bs.net.sim }
 
 var benchLink = LinkConfig{GbpsRate: 100, PropDelay: time.Microsecond}
 
@@ -35,11 +37,11 @@ func BenchmarkPortSend(b *testing.B) {
 	s := sim.New(1)
 	n := New(s)
 	sink := &benchSink{net: n}
-	p := newPort(n, "bench", benchLink, sink)
+	p := newPort(n, "bench", benchLink, n.sim, sink)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f := n.frames.Acquire()
+		f := n.Frames().Acquire()
 		f.Size = 1500
 		p.send(f)
 		s.Run()
@@ -94,9 +96,9 @@ func TestPortSendZeroAlloc(t *testing.T) {
 	s := sim.New(1)
 	n := New(s)
 	sink := &benchSink{net: n}
-	p := newPort(n, "alloc", benchLink, sink)
+	p := newPort(n, "alloc", benchLink, n.sim, sink)
 	op := func() {
-		f := n.frames.Acquire()
+		f := n.Frames().Acquire()
 		f.Size = 1500
 		p.send(f)
 		s.Run()
@@ -118,10 +120,10 @@ func TestSwitchForwardZeroAlloc(t *testing.T) {
 	sw := n.AddSwitch()
 	sink := &benchSink{net: n}
 	// Two equal-cost ports so the ECMP arm is exercised too.
-	sw.addRoute(0, newPort(n, "a", benchLink, sink), newPort(n, "b", benchLink, sink))
+	sw.addRoute(0, newPort(n, "a", benchLink, n.sim, sink), newPort(n, "b", benchLink, n.sim, sink))
 	var i uint64
 	op := func() {
-		f := n.frames.Acquire()
+		f := n.Frames().Acquire()
 		f.Dst = 0
 		f.FlowHash = i
 		f.Size = 1500
@@ -149,13 +151,13 @@ func TestSwitchPolicyZeroAlloc(t *testing.T) {
 			sw.SetPolicy(pol)
 			sink := &benchSink{net: n}
 			sw.addRoute(0,
-				newPort(n, "a", benchLink, sink),
-				newPort(n, "b", benchLink, sink),
-				newPort(n, "c", benchLink, sink),
-				newPort(n, "d", benchLink, sink))
+				newPort(n, "a", benchLink, n.sim, sink),
+				newPort(n, "b", benchLink, n.sim, sink),
+				newPort(n, "c", benchLink, n.sim, sink),
+				newPort(n, "d", benchLink, n.sim, sink))
 			var i uint64
 			op := func() {
-				f := n.frames.Acquire()
+				f := n.Frames().Acquire()
 				f.Dst = 0
 				f.FlowHash = i
 				f.Size = 1500
@@ -184,7 +186,7 @@ func TestHostDeliverZeroAlloc(t *testing.T) {
 	h.SetHandler(HandlerFunc(func(*Frame) { seen++ }))
 	h.SetTap(func(*Frame) {})
 	op := func() {
-		f := n.frames.Acquire()
+		f := n.Frames().Acquire()
 		f.Size = 64
 		h.receive(f)
 	}
@@ -204,9 +206,9 @@ func TestFramePoolRecycles(t *testing.T) {
 	s := sim.New(1)
 	n := New(s)
 	sink := &benchSink{net: n}
-	p := newPort(n, "recycle", benchLink, sink)
+	p := newPort(n, "recycle", benchLink, n.sim, sink)
 
-	f := n.frames.Acquire()
+	f := n.Frames().Acquire()
 	if !f.pooled {
 		t.Fatal("Acquire returned an unpooled frame")
 	}
@@ -216,18 +218,18 @@ func TestFramePoolRecycles(t *testing.T) {
 	f.Payload = "stale"
 	p.send(f)
 	s.Run()
-	g := n.frames.Acquire()
+	g := n.Frames().Acquire()
 	if g.Size != 0 || g.CE || g.Hops != 0 || g.Payload != nil {
 		t.Fatalf("recycled frame not zeroed: %+v", g)
 	}
 	if !g.pooled {
 		t.Fatal("recycled frame lost its pooled mark")
 	}
-	n.frames.Release(g)
+	n.Frames().Release(g)
 
 	// Hand-built frames bypass the pool entirely.
 	hand := &Frame{Size: 5}
-	n.frames.Release(hand)
+	n.Frames().Release(hand)
 	if hand.Size != 5 {
 		t.Fatal("Release mutated a hand-built frame")
 	}

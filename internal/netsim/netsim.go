@@ -70,9 +70,12 @@ type HandlerFunc func(*Frame)
 // HandleFrame calls fn(f).
 func (fn HandlerFunc) HandleFrame(f *Frame) { fn(f) }
 
-// device is anything a port can deliver to.
+// device is anything a port can deliver to. Every device is owned by one
+// simulation partition (trivially partition 0 on a single-loop network);
+// nodeSim reports the partition simulator its events must run on.
 type device interface {
 	receive(f *Frame)
+	nodeSim() *sim.Simulator
 }
 
 // LinkConfig describes one direction of a link.
@@ -118,9 +121,19 @@ type PortStats struct {
 // Port is one directed egress: a serializing output queue feeding a
 // propagation-delayed wire toward dst.
 type Port struct {
-	net  *Network
-	sim  *sim.Simulator
-	name string
+	net *Network
+	// sim is the source device's partition simulator: send, the drain tick
+	// and all port state live there. dstSim is the destination device's;
+	// when they differ the port is a partition boundary and deliveries are
+	// handed across via sim.CrossAction (with the link's propagation delay
+	// declared as conservative lookahead).
+	sim    *sim.Simulator
+	dstSim *sim.Simulator
+	// pool recycles this partition's frames and port events; dstPool is
+	// the destination partition's (where delivery events are released).
+	pool    *fabricPool
+	dstPool *fabricPool
+	name    string
 	// psPerByte is the precomputed serialization cost in integer
 	// picoseconds per byte; the hot path multiplies instead of dividing.
 	psPerByte int64
@@ -164,7 +177,7 @@ func psPerByte(gbps float64) int64 {
 	return ps
 }
 
-func newPort(n *Network, name string, cfg LinkConfig, dst device) *Port {
+func newPort(n *Network, name string, cfg LinkConfig, srcSim *sim.Simulator, dst device) *Port {
 	if cfg.GbpsRate <= 0 {
 		panic("netsim: link rate must be positive")
 	}
@@ -172,18 +185,35 @@ func newPort(n *Network, name string, cfg LinkConfig, dst device) *Port {
 	if limit == 0 {
 		limit = DefaultQueueBytes
 	}
+	dstSim := dst.nodeSim()
 	p := &Port{
 		net:       n,
-		sim:       n.sim,
+		sim:       srcSim,
+		dstSim:    dstSim,
+		pool:      n.pools[srcSim.ShardIndex()],
+		dstPool:   n.pools[dstSim.ShardIndex()],
 		name:      name,
 		psPerByte: psPerByte(cfg.GbpsRate),
 		prop:      cfg.PropDelay,
 		limit:     limit,
 		dst:       dst,
 	}
+	if srcSim != dstSim {
+		// Cross-partition link: its one-way propagation delay bounds how
+		// soon a frame can affect the remote partition, so it is the safe
+		// lookahead window. DeclareBoundary rejects zero-latency links —
+		// co-locate such endpoints in one partition instead (the topology
+		// builders keep racks intact for exactly this reason).
+		n.group.DeclareBoundary(cfg.PropDelay)
+	}
 	n.ports = append(n.ports, p)
 	return p
 }
+
+// Sim returns the partition simulator the port's source device runs on —
+// the right place to schedule work that mutates this port (impairment
+// schedules, degrade timers).
+func (p *Port) Sim() *sim.Simulator { return p.sim }
 
 // SetDropProb configures random egress drop with probability p, modeling the
 // paper's "switch configured to randomly drop packets" experiments.
@@ -269,22 +299,22 @@ func (p *Port) QueuedBytes() int { return p.queuedBytes }
 func (p *Port) send(f *Frame) {
 	if p.downDepth > 0 {
 		p.Stats.DownDrops++
-		p.net.frames.Release(f)
+		p.pool.frames.Release(f)
 		return
 	}
 	if p.dropProb > 0 && p.sim.Rand().Float64() < p.dropProb {
 		p.Stats.RandomDrops++
-		p.net.frames.Release(f)
+		p.pool.frames.Release(f)
 		return
 	}
 	if p.corruptProb > 0 && p.sim.Rand().Float64() < p.corruptProb {
 		p.Stats.CorruptDrops++
-		p.net.frames.Release(f)
+		p.pool.frames.Release(f)
 		return
 	}
 	if p.queuedBytes+f.Size > p.limit {
 		p.Stats.QueueDrops++
-		p.net.frames.Release(f)
+		p.pool.frames.Release(f)
 		return
 	}
 	p.queuedBytes += f.Size
@@ -311,22 +341,33 @@ func (p *Port) send(f *Frame) {
 		arrival = arrival.Add(p.reorderDelay)
 		p.Stats.Reordered++
 	}
-	drain := p.net.getEvent()
+	drain := p.pool.getEvent()
 	drain.kind = evDrain
 	drain.port = p
 	drain.size = f.Size
 	p.sim.AtAction(departure, drain)
-	del := p.net.getEvent()
+	del := p.pool.getEvent()
 	del.kind = evDeliver
 	del.dst = p.dst
 	del.frame = f
-	p.sim.AtAction(arrival, del)
+	if del.pool != nil {
+		// The delivery executes on the destination partition, so the
+		// event migrates to its pool (same pool on an intra-partition
+		// link; nil stays nil for legacy heap events).
+		del.pool = p.dstPool
+	}
+	p.sim.CrossAction(p.dstSim, arrival, del)
 }
 
 // Host is an endpoint with a single access link.
 type Host struct {
-	ID      NodeID
-	net     *Network
+	ID  NodeID
+	net *Network
+	// sim is the partition simulator this host's events run on (the
+	// network's root simulator on a single-loop network); pool is that
+	// partition's fabric free lists.
+	sim     *sim.Simulator
+	pool    *fabricPool
 	handler Handler
 	uplink  *Port
 	tap func(f *Frame)
@@ -387,12 +428,21 @@ func (h *Host) SetTap(fn func(f *Frame)) { h.tap = fn }
 // impair or re-rate it.
 func (h *Host) Uplink() *Port { return h.uplink }
 
+// Sim returns the partition simulator this host's events run on.
+// Transports attached to the host must schedule their timers and
+// continuations here — not on the network's root simulator — so that on a
+// sharded run their work executes on the host's partition.
+func (h *Host) Sim() *sim.Simulator { return h.sim }
+
+// nodeSim implements device.
+func (h *Host) nodeSim() *sim.Simulator { return h.sim }
+
 // NewFrame returns a zeroed frame from the network's pool, owned by the
 // caller until handed to Send. Transports on the steady-state path must
 // use this (or Network.Frames) instead of allocating Frames so the fabric
 // stays allocation-free; hand-built frames still work but are not
 // recycled.
-func (h *Host) NewFrame() *Frame { return h.net.frames.Acquire() }
+func (h *Host) NewFrame() *Frame { return h.pool.frames.Acquire() }
 
 // Send transmits a frame from this host. f.Src is set to the host's ID.
 // Ownership of a pooled frame passes to the fabric: the caller must not
@@ -400,11 +450,11 @@ func (h *Host) NewFrame() *Frame { return h.net.frames.Acquire() }
 func (h *Host) Send(f *Frame) {
 	if h.pauseDepth > 0 {
 		h.PauseTxDrops++
-		h.net.frames.Release(f)
+		h.pool.frames.Release(f)
 		return
 	}
 	f.Src = h.ID
-	f.SentAt = h.net.sim.Now()
+	f.SentAt = h.sim.Now()
 	f.Hops = 0
 	if h.uplink == nil {
 		panic(fmt.Sprintf("netsim: host %d has no uplink", h.ID))
@@ -416,7 +466,7 @@ func (h *Host) Send(f *Frame) {
 func (h *Host) receive(f *Frame) {
 	if h.pauseDepth > 0 {
 		h.PauseRxDrops++
-		h.net.frames.Release(f)
+		h.pool.frames.Release(f)
 		return
 	}
 	h.RxFrames++
@@ -426,15 +476,19 @@ func (h *Host) receive(f *Frame) {
 	if h.handler != nil {
 		h.handler.HandleFrame(f)
 	}
-	h.net.frames.Release(f)
+	h.pool.frames.Release(f)
 }
 
 // Switch forwards frames by destination, selecting among equal-cost
 // next-hop ports through a pluggable routing.Policy (ECMP by default;
 // see SetPolicy and Network.SetRoutingPolicy).
 type Switch struct {
-	id   int
-	net  *Network
+	id  int
+	net *Network
+	// sim/pool: the partition simulator this switch's forwarding runs on
+	// and that partition's fabric free lists (see Host.sim).
+	sim  *sim.Simulator
+	pool *fabricPool
 	salt uint64
 	// policy selects among equal-cost next hops. Policy values are
 	// stateless; the mutable selection state lives in the dense state
@@ -478,6 +532,12 @@ func (sw *Switch) SetPolicy(p routing.Policy) {
 
 // Policy returns the switch's routing policy.
 func (sw *Switch) Policy() routing.Policy { return sw.policy }
+
+// Sim returns the partition simulator this switch's forwarding runs on.
+func (sw *Switch) Sim() *sim.Simulator { return sw.sim }
+
+// nodeSim implements device.
+func (sw *Switch) nodeSim() *sim.Simulator { return sw.sim }
 
 // addRoute registers ports as next hops toward dst.
 func (sw *Switch) addRoute(dst NodeID, ports ...*Port) {
@@ -546,23 +606,53 @@ func DefaultPolicy() routing.Policy {
 
 // Network owns hosts and switches attached to one simulator, plus the
 // fast-path pools recycling frames and port events.
+//
+// On a sharded simulator (sim.Sharded) the network is partition-aware:
+// every device is assigned to one partition (round-robin by default, or
+// explicitly via AddHostOn/AddSwitchOn — the topology builders keep each
+// rack intact), each partition owns its own fabric pools, and ports whose
+// endpoints live in different partitions declare their propagation delay
+// as the group's conservative lookahead.
 type Network struct {
-	sim      *sim.Simulator
-	hosts    []*Host
+	sim   *sim.Simulator
+	group *sim.Sharded
+	hosts []*Host
 	switches []*Switch
 	// ports records every directed port in creation order, so audits (the
 	// chaos frame-conservation ledger) can fold over the whole fabric.
 	ports  []*Port
 	policy routing.Policy
 
-	frames FramePool
-	evFree []*portEvent
-	legacy bool
+	// pools holds one fabricPool per partition (exactly one on a
+	// single-loop network); nextHostPart/nextSwitchPart drive the default
+	// round-robin partition assignment.
+	pools         []*fabricPool
+	nextHostPart  int
+	nextSwitchPart int
+	legacy        bool
 }
 
 // New creates an empty network bound to s.
 func New(s *sim.Simulator) *Network {
-	return &Network{sim: s, policy: DefaultPolicy()}
+	n := &Network{sim: s, group: s.Group(), policy: DefaultPolicy()}
+	parts := 1
+	if n.group != nil {
+		parts = n.group.Shards()
+	}
+	n.pools = make([]*fabricPool, parts)
+	for i := range n.pools {
+		n.pools[i] = &fabricPool{}
+	}
+	return n
+}
+
+// partSim returns partition i's simulator (the root simulator on a
+// single-loop network).
+func (n *Network) partSim(i int) *sim.Simulator {
+	if n.group == nil {
+		return n.sim
+	}
+	return n.group.Part(i)
 }
 
 // SetRoutingPolicy installs p (nil = ECMP) on every existing switch and
@@ -585,9 +675,10 @@ func (n *Network) RoutingPolicy() routing.Policy { return n.policy }
 // Sim returns the owning simulator.
 func (n *Network) Sim() *sim.Simulator { return n.sim }
 
-// Frames returns the network's frame pool, for senders not attached to a
-// Host and for tests asserting pool behaviour.
-func (n *Network) Frames() *FramePool { return &n.frames }
+// Frames returns partition 0's frame pool, for senders not attached to a
+// Host and for tests asserting pool behaviour (hosts draw from their own
+// partition's pool via NewFrame).
+func (n *Network) Frames() *FramePool { return &n.pools[0].frames }
 
 // SetLegacyAlloc switches the fabric to the pre-pooling allocation
 // behaviour: Acquire returns fresh garbage-collected frames and every port
@@ -597,12 +688,29 @@ func (n *Network) Frames() *FramePool { return &n.frames }
 // suite), proving recycling is invisible to the protocol.
 func (n *Network) SetLegacyAlloc(on bool) {
 	n.legacy = on
-	n.frames.legacy = on
+	for _, fp := range n.pools {
+		fp.legacy = on
+		fp.frames.legacy = on
+	}
 }
 
-// AddHost creates a host. Its handler may be set later.
+// AddHost creates a host, assigning it to the next partition round-robin
+// (partition 0 on a single-loop network). Its handler may be set later.
 func (n *Network) AddHost() *Host {
-	h := &Host{ID: NodeID(len(n.hosts)), net: n}
+	part := 0
+	if n.group != nil {
+		part = n.nextHostPart % len(n.pools)
+		n.nextHostPart++
+	}
+	return n.AddHostOn(part)
+}
+
+// AddHostOn creates a host on partition part (mod the partition count, so
+// topology builders can pass a rack index directly). On a single-loop
+// network every host lands on the one partition.
+func (n *Network) AddHostOn(part int) *Host {
+	part %= len(n.pools)
+	h := &Host{ID: NodeID(len(n.hosts)), net: n, sim: n.partSim(part), pool: n.pools[part]}
 	n.hosts = append(n.hosts, h)
 	return h
 }
@@ -621,11 +729,26 @@ func (n *Network) Switches() []*Switch { return n.switches }
 // (sum of drops across every hop) and for sweeping impairments.
 func (n *Network) Ports() []*Port { return n.ports }
 
-// AddSwitch creates a switch running the network's routing policy.
+// AddSwitch creates a switch running the network's routing policy,
+// assigned to the next partition round-robin (see AddSwitchOn).
 func (n *Network) AddSwitch() *Switch {
+	part := 0
+	if n.group != nil {
+		part = n.nextSwitchPart % len(n.pools)
+		n.nextSwitchPart++
+	}
+	return n.AddSwitchOn(part)
+}
+
+// AddSwitchOn creates a switch on partition part (mod the partition
+// count), running the network's routing policy.
+func (n *Network) AddSwitchOn(part int) *Switch {
+	part %= len(n.pools)
 	sw := &Switch{
 		id:     len(n.switches),
 		net:    n,
+		sim:    n.partSim(part),
+		pool:   n.pools[part],
 		salt:   routing.Mix64(uint64(len(n.switches))*0x9e3779b97f4a7c15 + 1),
 		policy: n.policy,
 	}
@@ -637,8 +760,8 @@ func (n *Network) AddSwitch() *Switch {
 // installs the direct route sw -> h. Returns the downlink port (sw -> h) so
 // callers can impair the "forward direction" of a path.
 func (n *Network) AttachHost(h *Host, sw *Switch, cfg LinkConfig) *Port {
-	up := newPort(n, fmt.Sprintf("h%d->sw%d", h.ID, sw.id), cfg, sw)
-	down := newPort(n, fmt.Sprintf("sw%d->h%d", sw.id, h.ID), cfg, h)
+	up := newPort(n, fmt.Sprintf("h%d->sw%d", h.ID, sw.id), cfg, h.sim, sw)
+	down := newPort(n, fmt.Sprintf("sw%d->h%d", sw.id, h.ID), cfg, sw.sim, h)
 	h.uplink = up
 	sw.addRoute(h.ID, down)
 	return down
@@ -648,7 +771,7 @@ func (n *Network) AttachHost(h *Host, sw *Switch, cfg LinkConfig) *Port {
 // two directed ports (a->b, b->a). Routes must be installed by the caller
 // (or by a topology builder).
 func (n *Network) ConnectSwitches(a, b *Switch, cfg LinkConfig) (ab, ba *Port) {
-	ab = newPort(n, fmt.Sprintf("sw%d->sw%d", a.id, b.id), cfg, b)
-	ba = newPort(n, fmt.Sprintf("sw%d->sw%d", b.id, a.id), cfg, a)
+	ab = newPort(n, fmt.Sprintf("sw%d->sw%d", a.id, b.id), cfg, a.sim, b)
+	ba = newPort(n, fmt.Sprintf("sw%d->sw%d", b.id, a.id), cfg, b.sim, a)
 	return ab, ba
 }

@@ -74,6 +74,23 @@ func (p *FramePool) Release(f *Frame) {
 	p.free = append(p.free, f)
 }
 
+// fabricPool groups the free lists of one simulation partition: the frame
+// pool and the port-event free list. A single-loop network owns exactly
+// one; a sharded network owns one per partition so that, in the
+// experimental parallel mode, every free list is touched only by the
+// goroutine executing that partition's events. The migration rule keeps
+// that invariant without locks: objects are acquired from the pool of the
+// partition doing the acquiring and released into the pool of the
+// partition executing the release, so a frame crossing a partition
+// boundary simply changes pools (free lists are fungible; capacity drifts
+// toward receivers, which is exactly where the next Acquire happens for
+// request/response traffic).
+type fabricPool struct {
+	frames FramePool
+	evFree []*portEvent
+	legacy bool
+}
+
 // portEvent is the pooled, typed continuation the fast path schedules
 // instead of capture closures. One frame commitment arms two events:
 //
@@ -87,8 +104,12 @@ func (p *FramePool) Release(f *Frame) {
 // Each event is scheduled at the same instant, in the same order, as the
 // closure pair it replaced, so the simulator's (time, seq) stream — and
 // with it every trace hash — is unchanged.
+//
+// pool is the fabricPool the event returns to when it fires — the pool of
+// the partition that executes it (the port's own partition for drains, the
+// destination device's for deliveries). nil for legacy heap events.
 type portEvent struct {
-	net   *Network
+	pool  *fabricPool
 	port  *Port  // evDrain: the port whose queue drains
 	dst   device // evDeliver: the receiving device
 	frame *Frame // evDeliver: the frame in flight
@@ -108,42 +129,44 @@ func (e *portEvent) RunAction() {
 	switch e.kind {
 	case evDrain:
 		e.port.queuedBytes -= e.size
-		e.net.putEvent(e)
+		e.release()
 	default: // evDeliver
 		dst, f := e.dst, e.frame
-		e.net.putEvent(e)
+		e.release()
 		dst.receive(f)
 	}
 }
 
-// getEvent draws a port event from the network's free list, refilling in
-// blocks.
-func (n *Network) getEvent() *portEvent {
-	if n.legacy {
-		return &portEvent{net: n}
+// getEvent draws a port event from this partition's free list, refilling
+// in blocks.
+func (fp *fabricPool) getEvent() *portEvent {
+	if fp.legacy {
+		return &portEvent{}
 	}
-	k := len(n.evFree)
+	k := len(fp.evFree)
 	if k == 0 {
 		blk := make([]portEvent, eventPoolBlock)
 		for i := range blk {
-			blk[i].net = n
-			n.evFree = append(n.evFree, &blk[i])
+			blk[i].pool = fp
+			fp.evFree = append(fp.evFree, &blk[i])
 		}
-		k = len(n.evFree)
+		k = len(fp.evFree)
 	}
-	e := n.evFree[k-1]
-	n.evFree = n.evFree[:k-1]
+	e := fp.evFree[k-1]
+	fp.evFree = fp.evFree[:k-1]
 	return e
 }
 
-// putEvent recycles a fired port event, clearing its references so pooled
-// frames and ports are not pinned.
-func (n *Network) putEvent(e *portEvent) {
-	if n.legacy {
+// release recycles a fired port event into its destination pool, clearing
+// its references so pooled frames and ports are not pinned. Legacy events
+// (nil pool) are left to the garbage collector.
+func (e *portEvent) release() {
+	fp := e.pool
+	if fp == nil {
 		return
 	}
 	e.port = nil
 	e.dst = nil
 	e.frame = nil
-	n.evFree = append(n.evFree, e)
+	fp.evFree = append(fp.evFree, e)
 }

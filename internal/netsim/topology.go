@@ -59,16 +59,21 @@ func Star(s *sim.Simulator, nHosts int, link LinkConfig) *Topology {
 func Clos(s *sim.Simulator, racks, hostsPerRack, spines int, hostLink, fabricLink LinkConfig) *Topology {
 	n := New(s)
 	t := &Topology{Net: n}
+	// Partition assignment (sharded runs): spine i on partition i, rack r
+	// — its ToR and all its hosts together — on partition r (both mod the
+	// partition count). Keeping each rack intact means the short host<->ToR
+	// links never cross a partition boundary, so only the longer ToR<->spine
+	// propagation delay bounds the group's conservative lookahead.
 	for i := 0; i < spines; i++ {
-		t.Spines = append(t.Spines, n.AddSwitch())
+		t.Spines = append(t.Spines, n.AddSwitchOn(i))
 	}
 	torUplinks := make(map[*Switch][]*Port, racks)
 	for r := 0; r < racks; r++ {
-		tor := n.AddSwitch()
+		tor := n.AddSwitchOn(r)
 		t.ToRs = append(t.ToRs, tor)
 		var rackHosts []*Host
 		for hIdx := 0; hIdx < hostsPerRack; hIdx++ {
-			h := n.AddHost()
+			h := n.AddHostOn(r)
 			n.AttachHost(h, tor, hostLink)
 			rackHosts = append(rackHosts, h)
 			t.Hosts = append(t.Hosts, h)

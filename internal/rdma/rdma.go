@@ -82,8 +82,135 @@ type QP struct {
 	releaseSeq uint64
 	held       map[uint64]heldCompletion
 
+	// pushFree recycles per-op Push state (WRITE/SEND): each op needs a
+	// segment-completion callback and a retry continuation, and allocating
+	// those closures per op is the largest steady-state allocation in the
+	// op-rate figures. The callbacks are bound once per pooled object.
+	pushFree []*pushOp
+
 	// Stats
 	RNRs uint64
+}
+
+// pushOpPoolCap bounds the per-QP free list; beyond it ops are dropped to
+// the GC (a QP rarely has more than a send queue's worth outstanding).
+const pushOpPoolCap = 64
+
+// pushOp is the in-flight state of one WRITE or SEND work request: the
+// identity of the op, its segmentation cursor, and the two callbacks
+// (segment completion, backpressure retry) pre-bound to this object so the
+// issue loop allocates nothing.
+type pushOp struct {
+	qp   *QP
+	op   uint8
+	wrid uint64
+	seq  uint64
+	addr uint64
+	data []byte
+	size int
+
+	nseg      int
+	remaining int
+	firstErr  error
+	done      func(Completion)
+
+	// Backpressure-retry cursor: the next segment index/offset to issue.
+	nextIdx, nextOff int
+
+	segDoneFn func([]byte, error)
+	retryFn   func()
+}
+
+func (qp *QP) getPushOp() *pushOp {
+	if n := len(qp.pushFree); n > 0 {
+		o := qp.pushFree[n-1]
+		qp.pushFree = qp.pushFree[:n-1]
+		return o
+	}
+	o := &pushOp{qp: qp}
+	o.segDoneFn = o.segDone
+	o.retryFn = o.retry
+	return o
+}
+
+// release returns the op to the pool. Callers must copy out any state they
+// still need first: a completion callback may post a new op and reuse this
+// object immediately.
+func (o *pushOp) release() {
+	o.data = nil
+	o.done = nil
+	o.firstErr = nil
+	qp := o.qp
+	if len(qp.pushFree) < pushOpPoolCap {
+		qp.pushFree = append(qp.pushFree, o)
+	}
+}
+
+func (o *pushOp) segDone(_ []byte, err error) {
+	if err != nil && o.firstErr == nil {
+		o.firstErr = err
+	}
+	o.remaining--
+	if o.remaining == 0 {
+		qp, seq, done := o.qp, o.seq, o.done
+		c := Completion{WRID: o.wrid, Err: o.firstErr}
+		o.release()
+		qp.deliver(seq, c, done)
+	}
+}
+
+func (o *pushOp) retry() { o.issueFrom(o.nextIdx, o.nextOff) }
+
+// issueFrom issues segments [i, nseg) starting at byte offset off. It reads
+// the op's immutable fields into locals up front: the final segment's
+// completion can release (and a nested post can reuse) the object while the
+// loop epilogue still runs.
+func (o *pushOp) issueFrom(i, off int) {
+	qp, op, data, size, addr, nseg := o.qp, o.op, o.data, o.size, o.addr, o.nseg
+	mtu := qp.cfg.MTU
+	segDone := o.segDoneFn
+	for ; i < nseg; i++ {
+		seg := size - off
+		if seg > mtu {
+			seg = mtu
+		}
+		if seg < 0 {
+			seg = 0
+		}
+		var chunk []byte
+		if data != nil {
+			chunk = data[off : off+seg]
+		}
+		var a uint64
+		if op == opSend {
+			a = sendMeta(size, off)
+		} else {
+			a = addr + uint64(off)
+		}
+		if _, err := qp.ep.TL().PushOp(op, a, chunk, uint32(seg), segDone); err != nil {
+			if qp.ep.TL().Dead() != nil {
+				failSegments(nseg-i, err, segDone)
+				return
+			}
+			o.nextIdx, o.nextOff = i, off
+			qp.ep.Sim().After(retryDelay, o.retryFn)
+			return
+		}
+		off += seg
+	}
+}
+
+// postPush starts a pooled WRITE/SEND work request.
+func (qp *QP) postPush(op uint8, wrid, addr uint64, data []byte, size int, done func(Completion)) {
+	o := qp.getPushOp()
+	o.op, o.wrid, o.addr, o.data, o.size, o.done = op, wrid, addr, data, size, done
+	o.seq = qp.allocSeq()
+	o.nseg = (size + qp.cfg.MTU - 1) / qp.cfg.MTU
+	if o.nseg < 1 {
+		o.nseg = 1
+	}
+	o.remaining = o.nseg
+	o.issueFrom(0, 0)
 }
 
 type heldCompletion struct {
@@ -224,40 +351,7 @@ func (qp *QP) Write(wrid uint64, addr uint64, data []byte, size int, done func(C
 	if data != nil {
 		size = len(data)
 	}
-	segs := qp.segments(size)
-	seq := qp.allocSeq()
-	remaining := len(segs)
-	var firstErr error
-	segDone := func(_ []byte, err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		remaining--
-		if remaining == 0 {
-			qp.deliver(seq, Completion{WRID: wrid, Err: firstErr}, done)
-		}
-	}
-	var issue func(i, off int)
-	issue = func(i, off int) {
-		for ; i < len(segs); i++ {
-			seg := segs[i]
-			var chunk []byte
-			if data != nil {
-				chunk = data[off : off+seg]
-			}
-			if _, err := qp.ep.TL().PushOp(opWrite, addr+uint64(off), chunk, uint32(seg), segDone); err != nil {
-				if qp.ep.TL().Dead() != nil {
-					failSegments(len(segs)-i, err, segDone)
-					return
-				}
-				ri, ro := i, off
-				qp.ep.Sim().After(retryDelay, func() { issue(ri, ro) })
-				return
-			}
-			off += seg
-		}
-	}
-	issue(0, 0)
+	qp.postPush(opWrite, wrid, addr, data, size, done)
 	return nil
 }
 
@@ -268,40 +362,7 @@ func (qp *QP) Send(wrid uint64, data []byte, size int, done func(Completion)) er
 	if data != nil {
 		size = len(data)
 	}
-	segs := qp.segments(size)
-	seq := qp.allocSeq()
-	remaining := len(segs)
-	var firstErr error
-	segDone := func(_ []byte, err error) {
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		remaining--
-		if remaining == 0 {
-			qp.deliver(seq, Completion{WRID: wrid, Err: firstErr}, done)
-		}
-	}
-	var issue func(i, off int)
-	issue = func(i, off int) {
-		for ; i < len(segs); i++ {
-			seg := segs[i]
-			var chunk []byte
-			if data != nil {
-				chunk = data[off : off+seg]
-			}
-			if _, err := qp.ep.TL().PushOp(opSend, sendMeta(size, off), chunk, uint32(seg), segDone); err != nil {
-				if qp.ep.TL().Dead() != nil {
-					failSegments(len(segs)-i, err, segDone)
-					return
-				}
-				ri, ro := i, off
-				qp.ep.Sim().After(retryDelay, func() { issue(ri, ro) })
-				return
-			}
-			off += seg
-		}
-	}
-	issue(0, 0)
+	qp.postPush(opSend, wrid, 0, data, size, done)
 	return nil
 }
 

@@ -32,6 +32,12 @@ func Connect(client, server *Node, id uint32, cfg Config) (*QP, *Responder) {
 		respWait: make(map[uint32]*op),
 		respBuf:  make(map[uint32]*packet),
 	}
+	// Bind the timer callbacks once: evaluating a method value (q.pump,
+	// q.onRTO, q.sendProbe) allocates a closure at each use, and the pump
+	// and timer paths run per packet.
+	qp.pumpFn = qp.pump
+	qp.onRTOFn = qp.onRTO
+	qp.sendProbeFn = qp.sendProbe
 	if qp.rateGbps <= 0 {
 		qp.rateGbps = cfg.CC.MaxRateGbps
 	}
@@ -92,6 +98,12 @@ type QP struct {
 	pumpTimer    sim.Timer
 	lastProgress sim.Time
 
+	// Bound method values (see Connect): timer callbacks without per-arm
+	// closure allocations.
+	pumpFn      func()
+	onRTOFn     func()
+	sendProbeFn func()
+
 	// Stats
 	Stats struct {
 		DataSent     uint64
@@ -113,13 +125,24 @@ func (q *QP) Write(size int, done func()) { q.postData(ptWrite, size, done) }
 func (q *QP) Send(size int, done func()) { q.postData(ptSend, size, done) }
 
 func (q *QP) postData(t pktType, size int, done func()) {
-	segs := segments(size, q.cfg.MTU)
-	o := &op{kind: OpWrite, totalPkts: len(segs), done: done}
+	nseg := segmentCount(size, q.cfg.MTU)
+	o := &op{kind: OpWrite, totalPkts: nseg, done: done}
 	if t == ptSend {
 		o.kind = OpSend
 	}
-	for _, seg := range segs {
-		q.sendQ = append(q.sendQ, &txPkt{op: o, pkt: &packet{Type: t, QP: q.id, Size: seg, Stream: streamReq}})
+	// One slab of packets and one of trackers per op, rather than two
+	// allocations per segment. The objects are still fresh per op — packets
+	// ride the fabric as frame payloads and may be referenced by in-flight
+	// duplicates long after the op completes, so they are never recycled.
+	pkts := make([]packet, nseg)
+	tps := make([]txPkt, nseg)
+	off := 0
+	for i := 0; i < nseg; i++ {
+		seg := segmentAt(size, off, q.cfg.MTU)
+		pkts[i] = packet{Type: t, QP: q.id, Size: seg, Stream: streamReq}
+		tps[i] = txPkt{op: o, pkt: &pkts[i]}
+		q.sendQ = append(q.sendQ, &tps[i])
+		off += seg
 	}
 	q.pump()
 }
@@ -127,30 +150,39 @@ func (q *QP) postData(t pktType, size int, done func()) {
 // Read posts an RDMA READ of size bytes: one single-packet request per MTU
 // chunk, each soliciting one response packet.
 func (q *QP) Read(size int, done func()) {
-	segs := segments(size, q.cfg.MTU)
-	o := &op{kind: OpRead, totalPkts: len(segs), done: done}
-	for _, seg := range segs {
-		q.sendQ = append(q.sendQ, &txPkt{op: o, pkt: &packet{
-			Type: ptReadReq, QP: q.id, Size: 16, RespPSNs: 1, RespBytes: seg, Stream: streamReq,
-		}})
+	nseg := segmentCount(size, q.cfg.MTU)
+	o := &op{kind: OpRead, totalPkts: nseg, done: done}
+	pkts := make([]packet, nseg)
+	tps := make([]txPkt, nseg)
+	off := 0
+	for i := 0; i < nseg; i++ {
+		seg := segmentAt(size, off, q.cfg.MTU)
+		pkts[i] = packet{Type: ptReadReq, QP: q.id, Size: 16, RespPSNs: 1, RespBytes: seg, Stream: streamReq}
+		tps[i] = txPkt{op: o, pkt: &pkts[i]}
+		q.sendQ = append(q.sendQ, &tps[i])
+		off += seg
 	}
 	q.pump()
 }
 
-func segments(size, mtu int) []int {
+// segmentCount is how many MTU segments size bytes need (at least one).
+func segmentCount(size, mtu int) int {
 	if size <= 0 {
-		return []int{0}
+		return 1
 	}
-	var out []int
-	for size > 0 {
-		c := size
-		if c > mtu {
-			c = mtu
-		}
-		out = append(out, c)
-		size -= c
+	return (size + mtu - 1) / mtu
+}
+
+// segmentAt is the size of the segment starting at byte offset off.
+func segmentAt(size, off, mtu int) int {
+	seg := size - off
+	if seg > mtu {
+		seg = mtu
 	}
-	return out
+	if seg < 0 {
+		seg = 0
+	}
+	return seg
 }
 
 // outstanding counts unacked request packets plus unreceived solicited
@@ -168,7 +200,7 @@ func (q *QP) pump() {
 		}
 		if q.nextSend > now {
 			if !q.pumpTimer.Pending() {
-				q.pumpTimer = q.node.sim.At(q.nextSend, func() { q.pump() })
+				q.pumpTimer = q.node.sim.At(q.nextSend, q.pumpFn)
 			}
 			return
 		}
@@ -224,10 +256,10 @@ func (q *QP) armTimers() {
 		return
 	}
 	if !q.rtoTimer.Pending() {
-		q.rtoTimer = q.node.sim.After(q.cfg.RTO, q.onRTO)
+		q.rtoTimer = q.node.sim.After(q.cfg.RTO, q.onRTOFn)
 	}
 	if !q.probeTimer.Pending() && q.cfg.CC.ProbeInterval > 0 {
-		q.probeTimer = q.node.sim.After(q.cfg.CC.ProbeInterval, q.sendProbe)
+		q.probeTimer = q.node.sim.After(q.cfg.CC.ProbeInterval, q.sendProbeFn)
 	}
 }
 
@@ -236,7 +268,7 @@ func (q *QP) sendProbe() {
 		return
 	}
 	q.node.send(q.dst, &packet{Type: ptProbe, QP: q.id, T1: int64(q.node.sim.Now())}, q.pathHash(nil))
-	q.probeTimer = q.node.sim.After(q.cfg.CC.ProbeInterval, q.sendProbe)
+	q.probeTimer = q.node.sim.After(q.cfg.CC.ProbeInterval, q.sendProbeFn)
 }
 
 // onRTO is the timeout path: collapse the rate and go-back-N from the

@@ -176,6 +176,23 @@ type Simulator struct {
 	obs   Observer
 	sched Scheduler
 
+	// nowp and seqp are where this simulator reads its clock and draws
+	// sequence numbers. Standalone simulators point them at their own now
+	// and seq fields; partitions of a merged sharded group share the
+	// group-wide clock and counter, which is what makes a merged run
+	// byte-identical to the single loop (see shard.go). Parallel-mode
+	// partitions point back at their own fields.
+	nowp *Time
+	seqp *uint64
+
+	// group links a partition to its sharded coordinator (nil for
+	// single-loop simulators); shard is its partition index. held is the
+	// popped-but-undelivered head the group merge compares across
+	// partitions.
+	group *Sharded
+	shard int
+	held  *event
+
 	// far holds events beyond the wheel horizon — every event, in heap
 	// mode.
 	far eventHeap
@@ -199,31 +216,62 @@ type Simulator struct {
 // New returns a simulator using the default scheduler, whose clock reads
 // zero and whose random stream is seeded with seed. Two simulators built
 // with the same seed and fed the same schedule produce identical runs.
+// When SetDefaultShards has raised the process-wide partition count above
+// one, New returns the root partition of a sharded group instead; merged
+// sharded runs remain byte-identical to the single loop.
 func New(seed int64) *Simulator {
+	if n := DefaultShards(); n > 1 {
+		return NewSharded(seed, DefaultScheduler(), n, DefaultShardParallel())
+	}
 	return NewWithScheduler(seed, DefaultScheduler())
 }
 
-// NewWithScheduler returns a simulator backed by the given scheduler
-// implementation. The choice affects only speed, never delivery order.
+// NewWithScheduler returns a single-loop simulator backed by the given
+// scheduler implementation. The choice affects only speed, never delivery
+// order.
 func NewWithScheduler(seed int64, k Scheduler) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed)), sched: k}
+	s := &Simulator{rng: rand.New(rand.NewSource(seed)), sched: k}
+	s.nowp = &s.now
+	s.seqp = &s.seq
+	return s
 }
 
-// Now returns the current virtual time.
-func (s *Simulator) Now() Time { return s.now }
+// Now returns the current virtual time: the simulator's own clock, or the
+// group-wide clock when this simulator is a partition of a merged sharded
+// group (so a root handle captured by an experiment always reads global
+// time, whichever partition is executing).
+func (s *Simulator) Now() Time { return *s.nowp }
 
 // Rand returns the simulation-owned random stream. All randomness in a run
 // (drop decisions, jitter, workload arrivals) must come from here or from
 // streams derived from it, never from the global rand.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
 
-// Processed reports how many events have been delivered so far.
-func (s *Simulator) Processed() uint64 { return s.processed }
+// Processed reports how many events have been delivered so far —
+// group-wide on a sharded simulator.
+func (s *Simulator) Processed() uint64 {
+	if g := s.group; g != nil {
+		return g.processed()
+	}
+	return s.processed
+}
 
 // SetObserver attaches an event observer (nil detaches). The hook costs one
 // nil check per delivered event when unset, so it stays compiled in without
-// affecting benchmark runs.
-func (s *Simulator) SetObserver(o Observer) { s.obs = o }
+// affecting benchmark runs. On a partition of a merged sharded group the
+// observer is installed group-wide: the merge delivers events in exact
+// global order, so one observer sees the identical stream the single loop
+// would produce. Parallel-mode partitions keep per-partition observers
+// (they deliver concurrently); attach one per partition instead.
+func (s *Simulator) SetObserver(o Observer) {
+	if g := s.group; g != nil && !g.parallel {
+		for _, p := range g.parts {
+			p.obs = o
+		}
+		return
+	}
+	s.obs = o
+}
 
 // alloc takes an event from the free list, refilling it a block at a time
 // so long runs amortize to zero allocations per scheduled event.
@@ -308,21 +356,40 @@ func (s *Simulator) AtAction(at Time, a Action) Timer {
 // schedule allocates and enqueues a bare event at time at; the caller fills
 // in the callback (fn or act).
 func (s *Simulator) schedule(at Time) *event {
-	if at < s.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	if at < *s.nowp {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, *s.nowp))
 	}
 	e := s.alloc()
 	e.at = at
-	e.seq = s.seq
+	e.seq = *s.seqp
 	e.dead = false
-	s.seq++
+	*s.seqp++
 	s.live++
 	if s.sched == SchedulerWheel {
 		s.wheelInsert(e)
 	} else {
 		heap.Push(&s.far, e)
 	}
+	// A merged sharded group holds each partition's popped head outside
+	// the wheel; an insert that sorts before the held head must push the
+	// head back so the group merge still sees this partition's true
+	// minimum.
+	if h := s.held; h != nil && eventLess(e, h) {
+		s.held = nil
+		s.reinsert(h)
+	}
 	return e
+}
+
+// reinsert returns a popped-but-undelivered event to the pending set. A
+// held head always came out of the wheel's sorted drain buffer, so its
+// timestamp is below curEnd and wheelInsert merges it back in order.
+func (s *Simulator) reinsert(e *event) {
+	if s.sched == SchedulerWheel {
+		s.wheelInsert(e)
+	} else {
+		heap.Push(&s.far, e)
+	}
 }
 
 // After schedules fn to run d from now. Negative d is treated as zero.
@@ -330,7 +397,7 @@ func (s *Simulator) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return s.At(s.now.Add(d), fn)
+	return s.At((*s.nowp).Add(d), fn)
 }
 
 // pop removes and returns the live event with the smallest (time, seq), or
@@ -374,7 +441,16 @@ func (s *Simulator) step() bool {
 	if e == nil {
 		return false
 	}
+	s.deliver(e)
+	return true
+}
+
+// deliver executes one popped live event: advance the clock (the group
+// clock too, for merged partitions), fire the observer, recycle the event
+// object, run the callback.
+func (s *Simulator) deliver(e *event) {
 	s.now = e.at
+	*s.nowp = e.at
 	s.processed++
 	s.live--
 	if s.obs != nil {
@@ -388,7 +464,6 @@ func (s *Simulator) step() bool {
 	} else {
 		fn()
 	}
-	return true
 }
 
 // syncTotal folds newly delivered events into the process-wide counter.
@@ -399,16 +474,26 @@ func (s *Simulator) syncTotal() {
 	}
 }
 
-// Run delivers events until none remain.
+// Run delivers events until none remain. On a sharded simulator (any
+// partition handle) it drives the whole group.
 func (s *Simulator) Run() {
+	if g := s.group; g != nil {
+		g.run(0, false)
+		return
+	}
 	for s.step() {
 	}
 	s.syncTotal()
 }
 
 // RunUntil delivers events with timestamps <= t, then advances the clock to
-// t. Events scheduled beyond t remain pending.
+// t. Events scheduled beyond t remain pending. On a sharded simulator it
+// drives the whole group.
 func (s *Simulator) RunUntil(t Time) {
+	if g := s.group; g != nil {
+		g.run(t, true)
+		return
+	}
 	for {
 		at, ok := s.peek()
 		if !ok || at > t {
@@ -423,7 +508,13 @@ func (s *Simulator) RunUntil(t Time) {
 }
 
 // RunFor advances the simulation by d.
-func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now.Add(d)) }
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil((*s.nowp).Add(d)) }
 
-// Pending reports the number of live scheduled events.
-func (s *Simulator) Pending() int { return s.live }
+// Pending reports the number of live scheduled events — group-wide on a
+// sharded simulator.
+func (s *Simulator) Pending() int {
+	if g := s.group; g != nil {
+		return g.pending()
+	}
+	return s.live
+}

@@ -77,14 +77,33 @@ func TCP() Profile {
 	}
 }
 
-// msg is the wire payload.
+// msg is the wire payload. It doubles as the pooled receive-side CPU
+// completion (sim.Action): the receiving node stamps itself into rnode,
+// schedules the msg at its CPU-admission time, and RunAction delivers and
+// recycles it into that node's free list.
 type msg struct {
 	conn    uint32
 	last    bool
 	bytes   int // this fragment's payload
 	total   int // whole message payload
 	deliver func()
+
+	rnode *Node
+	next  *msg
 }
+
+func (m *msg) RunAction() {
+	n := m.rnode
+	if m.deliver != nil {
+		n.sim.After(n.profile.StackLatency, m.deliver)
+	}
+	n.freeMsg(m)
+}
+
+// msgPoolCap bounds a node's msg free list: with one-way traffic the
+// receiver recycles msgs it will never itself send, and an uncapped list
+// would grow with total message count.
+const msgPoolCap = 1024
 
 // Node is one host's software transport instance.
 type Node struct {
@@ -95,8 +114,37 @@ type Node struct {
 	coreFree []sim.Time
 	opCount  uint64
 
+	// Free lists for the per-op objects (wire msgs, send continuations,
+	// paced frame emissions); see the type comments.
+	msgFree  *msg
+	msgPool  int
+	xmitFree *xmit
+	emitFree *frameSend
+
 	// Stats
 	Ops uint64
+}
+
+func (n *Node) getMsg() *msg {
+	m := n.msgFree
+	if m == nil {
+		return &msg{}
+	}
+	n.msgFree = m.next
+	n.msgPool--
+	m.next = nil
+	return m
+}
+
+func (n *Node) freeMsg(m *msg) {
+	if n.msgPool >= msgPoolCap {
+		return
+	}
+	m.deliver = nil
+	m.rnode = nil
+	m.next = n.msgFree
+	n.msgFree = m
+	n.msgPool++
 }
 
 // NewNode attaches a software transport to a fabric host.
@@ -113,24 +161,25 @@ func NewNode(s *sim.Simulator, host *netsim.Host, p Profile) *Node {
 }
 
 // HandleFrame implements netsim.Handler: receiver-side CPU processing.
+// There is no loss or duplication in this model, so a msg arrives exactly
+// once and can be recycled as soon as it is consumed.
 func (n *Node) HandleFrame(f *netsim.Frame) {
 	m, ok := f.Payload.(*msg)
 	if !ok {
 		return
 	}
 	if !m.last {
+		n.freeMsg(m)
 		return // only the final fragment pays the op cost & completes
 	}
-	n.cpu(m.total, func() {
-		if m.deliver != nil {
-			n.sim.After(n.profile.StackLatency, m.deliver)
-		}
-	})
+	m.rnode = n
+	n.sim.AtAction(n.admit(m.total), m)
 }
 
-// cpu schedules fn after the transport's CPU admission: earliest-free core
-// plus the per-op and per-byte cost, with periodic scheduling jitter.
-func (n *Node) cpu(bytes int, fn func()) {
+// admit runs the transport's CPU admission for one op and returns when its
+// processing completes: earliest-free core plus the per-op and per-byte
+// cost, with periodic scheduling jitter.
+func (n *Node) admit(bytes int) sim.Time {
 	n.Ops++
 	n.opCount++
 	best := 0
@@ -149,7 +198,12 @@ func (n *Node) cpu(bytes int, fn func()) {
 	}
 	done := start.Add(cost)
 	n.coreFree[best] = done
-	n.sim.At(done, fn)
+	return done
+}
+
+// cpu schedules fn after CPU admission (non-pooled callers).
+func (n *Node) cpu(bytes int, fn func()) {
+	n.sim.At(n.admit(bytes), fn)
 }
 
 // CPUBacklog returns how far the busiest core is scheduled into the
@@ -182,10 +236,34 @@ func Connect(a, b *Node, id uint32) *Conn {
 	return &Conn{node: a, peer: b, id: id}
 }
 
+// xmit is the pooled sender-side CPU completion of a Send: transmit once
+// the CPU has processed the op.
+type xmit struct {
+	c    *Conn
+	n    int
+	done func()
+	next *xmit
+}
+
+func (x *xmit) RunAction() {
+	c, n, done := x.c, x.n, x.done
+	x.c, x.done = nil, nil
+	x.next = c.node.xmitFree
+	c.node.xmitFree = x
+	c.transmit(n, done)
+}
+
 // Send transfers n bytes one way; done fires when the receiver's stack has
 // delivered the message to the application.
 func (c *Conn) Send(n int, done func()) {
-	c.node.cpu(n, func() { c.transmit(n, done) })
+	x := c.node.xmitFree
+	if x == nil {
+		x = &xmit{}
+	} else {
+		c.node.xmitFree = x.next
+	}
+	x.c, x.n, x.done = c, n, done
+	c.node.sim.AtAction(c.node.admit(n), x)
 }
 
 // Call performs a request-response op: n bytes out, respBytes back; done
@@ -196,6 +274,21 @@ func (c *Conn) Call(n, respBytes int, done func()) {
 		reverse := &Conn{node: c.peer, peer: c.node, id: c.id}
 		reverse.Send(respBytes, done)
 	})
+}
+
+// frameSend is the pooled paced emission of one frame onto the wire.
+type frameSend struct {
+	node  *Node
+	frame *netsim.Frame
+	next  *frameSend
+}
+
+func (fs *frameSend) RunAction() {
+	n, f := fs.node, fs.frame
+	fs.frame = nil
+	fs.next = n.emitFree
+	n.emitFree = fs
+	n.host.Send(f)
 }
 
 // transmit segments and paces a message onto the wire.
@@ -213,16 +306,25 @@ func (c *Conn) transmit(n int, done func()) {
 		}
 		remaining -= seg
 		last := remaining <= 0
+		m := c.node.getMsg()
+		m.conn, m.last, m.bytes, m.total, m.deliver = c.id, last, seg, n, done
 		frame := c.node.host.NewFrame()
 		frame.Dst = c.peer.host.ID
 		frame.FlowHash = uint64(c.id) // single path
 		frame.Size = seg + 66         // TCP/IP + Ethernet headers
-		frame.Payload = &msg{conn: c.id, last: last, bytes: seg, total: n, deliver: done}
+		frame.Payload = m
 		// Pace at the stack's throughput cap.
 		gap := time.Duration(float64(seg+66) * 8 / p.MaxGbps)
 		at := c.nextSend
 		c.nextSend = c.nextSend.Add(gap)
-		c.node.sim.At(at.Add(p.StackLatency), func() { c.node.host.Send(frame) })
+		fs := c.node.emitFree
+		if fs == nil {
+			fs = &frameSend{node: c.node}
+		} else {
+			c.node.emitFree = fs.next
+		}
+		fs.frame = frame
+		c.node.sim.AtAction(at.Add(p.StackLatency), fs)
 		if last {
 			break
 		}

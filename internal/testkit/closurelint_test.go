@@ -10,19 +10,20 @@ import (
 )
 
 // TestNetsimClosureFree walks the fabric fast-path packages —
-// internal/netsim, internal/routing and internal/chaos — and fails if any
-// non-test file
+// internal/netsim, internal/routing, internal/chaos and internal/sim
+// itself (which now includes the partition runtime in shard.go) — and
+// fails if any non-test file
 // schedules a capture closure on the simulator: a call like
 // sim.At(t, func(){...}) or sim.After(d, func(){...}) with a function
 // literal argument. The fabric fast path must stay allocation-free by
 // construction: per-frame work is scheduled as pooled typed events through
-// sim.AtAction (see netsim's portEvent and routing's injector events), and
-// a closure literal anywhere on that path would reintroduce one heap
-// allocation per hop. Test files are exempt so unit tests can still drive
-// the simulator directly.
+// sim.AtAction (and across partitions via sim.CrossAction), and a closure
+// literal anywhere on that path would reintroduce one heap allocation per
+// hop. Test files are exempt so unit tests can still drive the simulator
+// directly.
 func TestNetsimClosureFree(t *testing.T) {
 	var violations []string
-	for _, pkgDir := range []string{"netsim", "routing", "chaos"} {
+	for _, pkgDir := range []string{"netsim", "routing", "chaos", "sim"} {
 		dir := filepath.Join(moduleRoot(t), "internal", pkgDir)
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, nil, parser.SkipObjectResolution)
@@ -44,7 +45,7 @@ func TestNetsimClosureFree(t *testing.T) {
 						return true
 					}
 					switch sel.Sel.Name {
-					case "At", "After", "AtAction":
+					case "At", "After", "AtAction", "CrossAction":
 					default:
 						return true
 					}

@@ -23,9 +23,9 @@ import (
 //     bitmap words; maps exist only as the legacy verification oracle,
 //     and that backend's operations are confined to table_legacy.go.
 //  2. No function literals passed to scheduler entry points (At, After,
-//     AtAction, Process, ProcessAction) in pdl or tl. Scheduling a
-//     closure allocates per call; the hot path schedules preallocated
-//     Action values instead.
+//     AtAction, CrossAction, Process, ProcessAction) in pdl or tl.
+//     Scheduling a closure allocates per call; the hot path schedules
+//     preallocated Action values instead.
 //
 // The check is typed (go/types over the real package sources), so a map
 // hidden behind a named type or a generic type parameter is still caught,
@@ -64,7 +64,7 @@ func TestHotPathLint(t *testing.T) {
 					}
 					if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
 						switch sel.Sel.Name {
-						case "At", "After", "AtAction", "Process", "ProcessAction":
+						case "At", "After", "AtAction", "CrossAction", "Process", "ProcessAction":
 							for _, arg := range n.Args {
 								if _, closure := arg.(*ast.FuncLit); closure {
 									report(arg.Pos(), "closure passed to %s: schedule a preallocated Action",

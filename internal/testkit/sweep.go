@@ -94,6 +94,20 @@ type Scenario struct {
 	Gbps      float64       // default 100
 	PropDelay time.Duration // default 1us
 
+	// Shards splits the run into that many simulation partitions (<= 1 is
+	// the single event loop). The default merged mode drains partitions
+	// through the deterministic group merge and must be byte-identical to
+	// the single loop (asserted by TestSweepShardEquivalence).
+	Shards int
+
+	// ShardParallel selects the experimental windowed-parallel execution
+	// (Shards > 1 only). Parallel runs are self-deterministic — same seed,
+	// shard count and topology give the same per-partition streams — but
+	// their sequence numbering is per-partition, so their hashes are NOT
+	// comparable to single-loop or merged hashes. Run attaches one hasher
+	// per partition and skips the shared-state checker and recorder.
+	ShardParallel bool
+
 	// MaxSimTime bounds the run in simulated time (default 5s). A healthy
 	// scenario drains in well under a millisecond of simulated time per
 	// op; hitting this bound means the protocol livelocked, and the
@@ -209,7 +223,13 @@ func (t *sweepTarget) HandlePull(rsn uint64, p *wire.Packet) ([]byte, uint32, tl
 // packets and every resource pool drained back to zero.
 func Run(sc Scenario) Result {
 	sc = sc.withDefaults()
-	s := sim.NewWithScheduler(sc.Seed, sc.Scheduler)
+	var s *sim.Simulator
+	if sc.Shards > 1 {
+		s = sim.NewSharded(sc.Seed, sc.Scheduler, sc.Shards, sc.ShardParallel)
+	} else {
+		s = sim.NewWithScheduler(sc.Seed, sc.Scheduler)
+	}
+	parallel := s.Group() != nil && s.Group().Parallel()
 	link := netsim.LinkConfig{GbpsRate: sc.Gbps, PropDelay: sc.PropDelay}
 	topo, fwd := netsim.PointToPoint(s, link)
 	if sc.LegacyAlloc {
@@ -239,43 +259,74 @@ func Run(sc Scenario) Result {
 	checker := NewChecker()
 	checker.StrictOutstanding = sc.StrictOutstanding
 	checker.FailFunc = sc.FailFunc
-	s.SetObserver(hasher)
 
-	// Flight recorder: a passive ring of the most recent probe records.
-	// It schedules no events and draws no randomness, so attaching it
-	// leaves the trace hash unchanged; its payoff is at failure time,
-	// when any invariant violation dumps the event history leading up to
-	// it instead of only the failing assertion.
-	tap := hasher.TapFrame
-	var pdlExtra pdl.Probe
-	var tlExtra tl.Probe
-	if !sc.DisableRecorder {
-		rec := telemetry.NewRecorder(s, telemetry.DefaultRecorderDepth)
-		pdlExtra, tlExtra = rec, rec
-		hashTap := hasher.TapFrame
-		tap = func(f *netsim.Frame) {
-			hashTap(f)
-			rec.TapFrame(f)
+	// partHashers is the parallel-mode harness: one hasher per partition,
+	// each touched only by its partition's goroutine. The shared checker
+	// and flight recorder are skipped — they would be written from several
+	// partitions at once — so parallel runs verify self-determinism and
+	// quiescence, not protocol invariants (the merged mode covers those
+	// with the identical event stream).
+	var partHashers []*TraceHasher
+	if parallel {
+		g := s.Group()
+		partHashers = make([]*TraceHasher, g.Shards())
+		for i := range partHashers {
+			partHashers[i] = NewTraceHasher()
+			g.Part(i).SetObserver(partHashers[i])
 		}
-		inner := sc.FailFunc
-		checker.FailFunc = func(format string, args ...any) {
-			msg := fmt.Sprintf(format, args...) + "\n" + rec.DumpString()
-			if inner != nil {
-				inner("%s", msg)
-				return
+		for _, h := range topo.Hosts {
+			ph := partHashers[h.Sim().ShardIndex()]
+			h.SetTap(ph.TapFrame)
+		}
+		hashA := partHashers[epA.Sim().ShardIndex()]
+		hashB := partHashers[epB.Sim().ShardIndex()]
+		epA.PDL().SetProbe(hashA)
+		epB.PDL().SetProbe(hashB)
+		epA.TL().SetProbe(hashA)
+		epB.TL().SetProbe(hashB)
+	} else {
+		s.SetObserver(hasher)
+
+		// Flight recorder: a passive ring of the most recent probe records.
+		// It schedules no events and draws no randomness, so attaching it
+		// leaves the trace hash unchanged; its payoff is at failure time,
+		// when any invariant violation dumps the event history leading up to
+		// it instead of only the failing assertion.
+		tap := hasher.TapFrame
+		var pdlExtra pdl.Probe
+		var tlExtra tl.Probe
+		if !sc.DisableRecorder {
+			rec := telemetry.NewRecorder(s, telemetry.DefaultRecorderDepth)
+			pdlExtra, tlExtra = rec, rec
+			hashTap := hasher.TapFrame
+			tap = func(f *netsim.Frame) {
+				hashTap(f)
+				rec.TapFrame(f)
 			}
-			panic("testkit: invariant violation: " + msg)
+			inner := sc.FailFunc
+			checker.FailFunc = func(format string, args ...any) {
+				msg := fmt.Sprintf(format, args...) + "\n" + rec.DumpString()
+				if inner != nil {
+					inner("%s", msg)
+					return
+				}
+				panic("testkit: invariant violation: " + msg)
+			}
 		}
+		for _, h := range topo.Hosts {
+			h.SetTap(tap)
+		}
+		epA.PDL().SetProbe(PDLProbes(checker, hasher, pdlExtra))
+		epB.PDL().SetProbe(PDLProbes(checker, hasher, pdlExtra))
+		epA.TL().SetProbe(TLProbes(checker, hasher, tlExtra))
+		epB.TL().SetProbe(TLProbes(checker, hasher, tlExtra))
 	}
-	for _, h := range topo.Hosts {
-		h.SetTap(tap)
-	}
-	epA.PDL().SetProbe(PDLProbes(checker, hasher, pdlExtra))
-	epB.PDL().SetProbe(PDLProbes(checker, hasher, pdlExtra))
-	epA.TL().SetProbe(TLProbes(checker, hasher, tlExtra))
-	epB.TL().SetProbe(TLProbes(checker, hasher, tlExtra))
 
-	epB.SetTarget(&sweepTarget{s: s, rnrProb: sc.RNRPct / 100, rnrDelay: sc.RNRDelay})
+	// The target's RNR verdicts execute on the target's partition, so they
+	// draw from its simulator (the shared group stream in merged mode —
+	// identical draws to the single loop — and the partition-local stream
+	// in parallel mode).
+	epB.SetTarget(&sweepTarget{s: epB.Sim(), rnrProb: sc.RNRPct / 100, rnrDelay: sc.RNRDelay})
 
 	// Fabric impairments.
 	fwd.SetDropProb(sc.DropPct / 100)
@@ -297,7 +348,10 @@ func Run(sc Scenario) Result {
 		}
 	}
 	if sc.DegradeGbps > 0 {
-		s.After(150*time.Microsecond, func() { fwd.SetRateGbps(sc.DegradeGbps) })
+		// The degrade mutates port state, so its timer runs on the port's
+		// partition (identical schedule in single-loop and merged modes:
+		// fwd.Sim() is the root simulator, or shares its sequence counter).
+		fwd.Sim().After(150*time.Microsecond, func() { fwd.SetRateGbps(sc.DegradeGbps) })
 	}
 
 	// Closed-loop workload with transparent retry on backpressure.
@@ -331,7 +385,9 @@ func Run(sc Scenario) Result {
 				// the Xon callback also re-pumps.
 				if !retryArmed {
 					retryArmed = true
-					s.After(20*time.Microsecond, func() {
+					// The retry re-enters the initiator's TL, so it runs
+					// on the initiator's partition.
+					epA.Sim().After(20*time.Microsecond, func() {
 						retryArmed = false
 						pump()
 					})
@@ -354,10 +410,26 @@ func Run(sc Scenario) Result {
 			DumpConn(epB.PDL()), epB.TL().ExpectedRSN(), epB.TL().BufferedRSNs())
 	}
 
-	res.TraceHash = hasher.Sum64()
-	res.Records = hasher.Records()
-	res.ProtoHash = hasher.ProtoSum64()
-	res.ProtoRecords = hasher.ProtoRecords()
+	if parallel {
+		// Fold the per-partition digests in partition order. The combined
+		// value is self-deterministic (same seed, shard count and mode →
+		// same fold) but, unlike merged-mode hashes, not comparable to the
+		// single loop's stream.
+		h, p := uint64(fnvOffset64), uint64(fnvOffset64)
+		for _, th := range partHashers {
+			h = (h ^ th.Sum64()) * fnvPrime64
+			p = (p ^ th.ProtoSum64()) * fnvPrime64
+			res.Records += th.Records()
+			res.ProtoRecords += th.ProtoRecords()
+		}
+		res.TraceHash = h
+		res.ProtoHash = p
+	} else {
+		res.TraceHash = hasher.Sum64()
+		res.Records = hasher.Records()
+		res.ProtoHash = hasher.ProtoSum64()
+		res.ProtoRecords = hasher.ProtoRecords()
+	}
 	res.Served = checker.ServedCount(epB.TL())
 	res.ConnFailed = epA.TL().Dead() != nil || epB.TL().Dead() != nil
 	res.SimTime = s.Now()

@@ -21,6 +21,12 @@ type ClosedLoop struct {
 	issued    int
 	inflight  int
 	completed int
+
+	// opDoneFn and pumpFn are the bound method values passed to issue and
+	// After. Evaluating c.opDone allocates a fresh closure each time; binding
+	// once here keeps the steady-state issue path allocation-free.
+	opDoneFn func()
+	pumpFn   func()
 }
 
 // NewClosedLoop builds the issuer; call Start to begin.
@@ -28,7 +34,10 @@ func NewClosedLoop(s *sim.Simulator, window, total int, issue func(opDone func()
 	if window <= 0 {
 		window = 1
 	}
-	return &ClosedLoop{sim: s, window: window, total: total, issue: issue, done: done}
+	c := &ClosedLoop{sim: s, window: window, total: total, issue: issue, done: done}
+	c.opDoneFn = c.opDone
+	c.pumpFn = c.pump
+	return c
 }
 
 // Start issues the initial window.
@@ -39,10 +48,10 @@ func (c *ClosedLoop) Completed() int { return c.completed }
 
 func (c *ClosedLoop) pump() {
 	for c.inflight < c.window && c.issued < c.total {
-		ok := c.issue(c.opDone)
+		ok := c.issue(c.opDoneFn)
 		if !ok {
 			// Backpressured: retry after a pause.
-			c.sim.After(20*time.Microsecond, c.pump)
+			c.sim.After(20*time.Microsecond, c.pumpFn)
 			return
 		}
 		c.issued++
@@ -73,6 +82,9 @@ type Poisson struct {
 	issue func()
 
 	issued int
+
+	// tick is the arrival body, allocated once instead of per arrival.
+	tick func()
 }
 
 // NewPoisson builds the issuer; call Start to begin.
@@ -80,7 +92,13 @@ func NewPoisson(s *sim.Simulator, rng *rand.Rand, rate float64, total int, issue
 	if rate <= 0 {
 		panic("workload: poisson rate must be positive")
 	}
-	return &Poisson{sim: s, rng: rng, rate: rate, total: total, issue: issue}
+	p := &Poisson{sim: s, rng: rng, rate: rate, total: total, issue: issue}
+	p.tick = func() {
+		p.issued++
+		p.issue()
+		p.next()
+	}
+	return p
 }
 
 // Start schedules the first arrival.
@@ -91,9 +109,5 @@ func (p *Poisson) next() {
 		return
 	}
 	gap := time.Duration(p.rng.ExpFloat64() / p.rate * 1e9)
-	p.sim.After(gap, func() {
-		p.issued++
-		p.issue()
-		p.next()
-	})
+	p.sim.After(gap, p.tick)
 }
